@@ -1,0 +1,33 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one paper table/figure, saves the rendered
+rows/series under ``benchmarks/results/``, and asserts the headline
+values stay in their calibration bands (see EXPERIMENTS.md).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_figure(results_dir):
+    """Persist a FigureResult's text report and echo it to stdout."""
+
+    def _save(result):
+        path = results_dir / f"{result.figure_id}.txt"
+        path.write_text(result.text + "\n")
+        print(f"\n[{result.figure_id}] {result.title}")
+        for key, value in result.summary.items():
+            print(f"  {key} = {value:.4g}")
+        return path
+
+    return _save

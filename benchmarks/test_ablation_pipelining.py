@@ -1,0 +1,74 @@
+"""Ablations: graph-compiler pipelining/fusion, and BlockList vs
+BlockTable -- the software design choices behind the vLLM case study."""
+
+from repro.core.report import render_table
+from repro.graph import Engine, Graph, GraphCompiler
+from repro.kernels.paged_attention import (
+    PagedAttentionConfig,
+    vllm_base_paged_attention,
+    vllm_opt_paged_attention,
+)
+
+
+def _layer_graph():
+    """A GEMM -> activation -> GEMM -> softmax slice of a decoder."""
+    g = Graph("decoder-slice")
+    qk = g.add_op("qk_gemm", Engine.MME, 120e-6, 4e6, 8e6, sliceable=True)
+    sm = g.add_op("softmax", Engine.TPC, 50e-6, 8e6, 8e6, inputs=[qk],
+                  fusable=True, sliceable=True)
+    scale = g.add_op("scale", Engine.TPC, 10e-6, 8e6, 8e6, inputs=[sm],
+                     fusable=True, sliceable=True)
+    g.add_op("pv_gemm", Engine.MME, 110e-6, 8e6, 4e6, inputs=[scale],
+             sliceable=True)
+    return g
+
+
+def _compile_variants():
+    variants = {
+        "fusion+pipelining": GraphCompiler(),
+        "fusion only": GraphCompiler(enable_pipelining=False),
+        "pipelining only": GraphCompiler(enable_fusion=False),
+        "neither": GraphCompiler(enable_fusion=False, enable_pipelining=False),
+    }
+    return {name: c.compile(_layer_graph()).total_time for name, c in variants.items()}
+
+
+def test_ablation_graph_compiler_passes(benchmark, results_dir):
+    times = benchmark.pedantic(_compile_variants, rounds=1, iterations=1)
+    rows = [(name, f"{t * 1e6:.1f}") for name, t in sorted(times.items(), key=lambda kv: kv[1])]
+    text = render_table(["Pass configuration", "Slice time (us)"], rows,
+                        title="Ablation: graph-compiler optimization passes")
+    (results_dir / "ablation_compiler_passes.txt").write_text(text + "\n")
+    print("\n" + text)
+    assert times["fusion+pipelining"] < times["fusion only"] < times["neither"]
+    assert times["fusion+pipelining"] < times["pipelining only"]
+
+
+def _blocklist_vs_blocktable():
+    rows = []
+    for padding_label, seq_lens in (
+        ("0%", [2048] * 16),
+        ("~50%", [2048] + [1024] * 15),
+        ("~90%", [2048] + [256] * 15),
+    ):
+        config = PagedAttentionConfig(batch=16, seq_lens=seq_lens,
+                                      q_heads=32, kv_heads=8, head_dim=128)
+        base = vllm_base_paged_attention(config).time
+        opt = vllm_opt_paged_attention(config).time
+        rows.append((padding_label, f"{config.padding_fraction:.0%}",
+                     f"{base / opt:.1f}x"))
+    return rows
+
+
+def test_ablation_blocklist_vs_blocktable(benchmark, results_dir):
+    rows = benchmark.pedantic(_blocklist_vs_blocktable, rounds=1, iterations=1)
+    text = render_table(
+        ["Nominal padding", "Actual padding", "BlockList speedup"],
+        rows,
+        title="Ablation: BlockList (opt) vs BlockTable (base) PagedAttention",
+    )
+    (results_dir / "ablation_blocklist.txt").write_text(text + "\n")
+    print("\n" + text)
+    speedups = [float(r[2][:-1]) for r in rows]
+    assert speedups == sorted(speedups)  # padding amplifies the gap
+    assert speedups[0] > 3.0

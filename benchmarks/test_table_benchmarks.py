@@ -1,0 +1,22 @@
+"""Tables 1 and 2: spec comparison and microbenchmark inventory."""
+
+from repro.figures import run_figure
+
+
+def test_table1_spec_comparison(benchmark, save_figure):
+    result = benchmark.pedantic(
+        run_figure, args=("table1",), kwargs={"fast": True}, rounds=3, iterations=1
+    )
+    save_figure(result)
+    import pytest
+
+    assert result.summary["matrix_tflops_ratio"] == pytest.approx(432 / 312)
+    assert result.summary["power_ratio"] == 1.5
+
+
+def test_table2_microbenchmark_inventory(benchmark, save_figure):
+    result = benchmark.pedantic(
+        run_figure, args=("table2",), kwargs={"fast": True}, rounds=3, iterations=1
+    )
+    save_figure(result)
+    assert result.summary["num_microbenchmarks"] == 4

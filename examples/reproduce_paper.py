@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Run with::
+
+    python examples/reproduce_paper.py          # fast sweeps (~30 s)
+    python examples/reproduce_paper.py --full   # the full grids
+
+Writes the rendered rows/series to ``paper_results/`` and prints each
+artifact's headline summary.
+"""
+
+import argparse
+import pathlib
+
+from repro.figures import generate_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the full parameter grids")
+    parser.add_argument("--out", default="paper_results",
+                        help="output directory for the rendered reports")
+    args = parser.parse_args()
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+
+    results = generate_all(fast=not args.full)
+    for figure_id, result in results.items():
+        (out_dir / f"{figure_id}.txt").write_text(result.text + "\n")
+        print(f"== {figure_id}: {result.title} ({len(result.rows)} rows) ==")
+        for key, value in result.summary.items():
+            print(f"   {key} = {value:.4g}")
+        print()
+    print(f"full reports written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro specs                      # Table 1
+    python -m repro gemm 4096 4096 4096        # one GEMM on both devices
+    python -m repro figures [--id fig08] [--full] [--out DIR]
+    python -m repro serve --model 8b --device gaudi2 --max-batch 64
+    python -m repro smi --workload llm --device gaudi2
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.core.report import render_table
+from repro.hw.device import get_device
+from repro.hw.spec import DType, spec_comparison_rows
+
+
+def _cmd_specs(_args: argparse.Namespace) -> int:
+    print(render_table(
+        ["Metric", "A100", "Gaudi-2", "Ratio"],
+        spec_comparison_rows(),
+        title="Table 1: NVIDIA A100 vs Intel Gaudi-2",
+    ))
+    return 0
+
+
+def _cmd_gemm(args: argparse.Namespace) -> int:
+    dtype = DType(args.dtype)
+    rows = []
+    for name in args.devices:
+        device = get_device(name)
+        result = device.gemm(args.m, args.k, args.n, dtype)
+        rows.append((
+            device.name,
+            f"{result.achieved_flops / 1e12:.1f}",
+            f"{result.utilization:.1%}",
+            "memory" if result.memory_bound else "compute",
+            result.config_label,
+        ))
+    print(render_table(
+        ["Device", "TFLOPS", "Utilization", "Bound", "Engine config"],
+        rows,
+        title=f"GEMM {args.m}x{args.k}x{args.n} ({dtype.value})",
+    ))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.figures import FIGURES, run_figure
+
+    if args.markdown:
+        from repro.figures.report_md import experiments_markdown
+
+        print(experiments_markdown(fast=not args.full))
+        return 0
+    figure_ids = [args.id] if args.id else sorted(FIGURES)
+    out_dir: Optional[pathlib.Path] = None
+    if args.out:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for figure_id in figure_ids:
+        result = run_figure(figure_id, fast=not args.full)
+        print(f"== {figure_id}: {result.title} ==")
+        for key, value in result.summary.items():
+            print(f"   {key} = {value:.4g}")
+        if out_dir is not None:
+            (out_dir / f"{figure_id}.txt").write_text(result.text + "\n")
+    if out_dir is not None:
+        print(f"reports written to {out_dir}/")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.models.llama import (
+        LLAMA_3_1_70B,
+        LLAMA_3_1_8B,
+        DecodeAttention,
+        LlamaCostModel,
+    )
+    from repro.serving import LlmServingEngine, dynamic_sonnet_requests
+
+    config = LLAMA_3_1_8B if args.model == "8b" else LLAMA_3_1_70B
+    device = get_device(args.device)
+    attention = (
+        DecodeAttention.PAGED_CUDA
+        if device.name == "A100"
+        else DecodeAttention.PAGED_OPT
+    )
+    engine = LlmServingEngine(
+        LlamaCostModel(config, device), attention, max_decode_batch=args.max_batch
+    )
+    report = engine.run(dynamic_sonnet_requests(args.requests, seed=args.seed))
+    print(f"{config.name} on {device.name} (max decode batch {args.max_batch}):")
+    print(f"  throughput : {report.throughput_tokens_per_s:.0f} tokens/s")
+    print(f"  mean TTFT  : {report.mean_ttft:.3f} s")
+    print(f"  mean TPOT  : {report.mean_tpot * 1e3:.1f} ms")
+    print(f"  power      : {report.average_power:.0f} W")
+    print(f"  energy     : {report.energy_per_token * 1e3:.2f} mJ/token")
+    return 0
+
+
+def _cmd_smi(args: argparse.Namespace) -> int:
+    from repro.hw.power import ActivityAccumulator
+    from repro.models.dlrm import DlrmCostModel, RM2_CONFIG
+    from repro.models.llama import LLAMA_3_1_8B, LlamaCostModel
+    from repro.tools.smi import hl_smi, nvidia_smi
+
+    device = get_device(args.device)
+    if args.workload == "llm":
+        model = LlamaCostModel(LLAMA_3_1_8B, device)
+        phase = model.decode_step(32, 1024)
+        activity = phase.activity.profile(phase.time)
+    else:
+        dlrm = DlrmCostModel(RM2_CONFIG, device)
+        acc = ActivityAccumulator()
+        time = dlrm.embedding_time(4096, acc)
+        activity = acc.profile(time)
+    reader = hl_smi if device.spec.vendor == "Intel" else nvidia_smi
+    print(reader(activity, device.spec).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulator-based reproduction of 'Debunking the CUDA Myth' (ISCA 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("specs", help="print the Table 1 spec comparison").set_defaults(
+        fn=_cmd_specs
+    )
+
+    gemm = sub.add_parser("gemm", help="run one GEMM shape on the device models")
+    gemm.add_argument("m", type=int)
+    gemm.add_argument("k", type=int)
+    gemm.add_argument("n", type=int)
+    gemm.add_argument("--dtype", default="bf16", choices=[d.value for d in DType])
+    gemm.add_argument("--devices", nargs="+", default=["gaudi2", "a100"])
+    gemm.set_defaults(fn=_cmd_gemm)
+
+    figures = sub.add_parser("figures", help="regenerate paper tables/figures")
+    figures.add_argument("--id", help="one figure id (default: all)")
+    figures.add_argument("--full", action="store_true", help="full parameter grids")
+    figures.add_argument("--out", help="directory for rendered reports")
+    figures.add_argument("--markdown", action="store_true",
+                         help="print the live paper-vs-measured table")
+    figures.set_defaults(fn=_cmd_figures)
+
+    serve = sub.add_parser("serve", help="run the vLLM-style serving simulation")
+    serve.add_argument("--model", default="8b", choices=["8b", "70b"])
+    serve.add_argument("--device", default="gaudi2")
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--requests", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(fn=_cmd_serve)
+
+    smi = sub.add_parser("smi", help="hl-smi / nvidia-smi style readout")
+    smi.add_argument("--device", default="gaudi2")
+    smi.add_argument("--workload", default="llm", choices=["llm", "recsys"])
+    smi.set_defaults(fn=_cmd_smi)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

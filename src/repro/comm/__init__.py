@@ -1,0 +1,34 @@
+"""Interconnect and collective-communication models.
+
+Models the two intra-node fabrics the paper contrasts in Section 3.4:
+
+* the HLS-Gaudi-2 server's **P2P full mesh** -- each pair of the eight
+  Gaudi-2 chips is wired with three 100 GbE RoCE links, so the usable
+  injection bandwidth scales with the number of *participating*
+  devices; and
+* the DGX A100's **NVSwitch** -- every GPU gets its full 300 GB/s to
+  the switch regardless of how many GPUs participate.
+
+On top of the topologies, :mod:`repro.comm.collectives` implements the
+six collective operations of Figure 10 with the algorithms each
+library uses (full-mesh one-step exchanges for HCCL, rings for NCCL),
+and :mod:`repro.comm.busbw` applies the NCCL bus-bandwidth reporting
+conventions the paper adopts.
+"""
+
+from repro.comm.api import CollectiveLibrary, HcclLibrary, NcclLibrary
+from repro.comm.busbw import bus_bandwidth_factor
+from repro.comm.collectives import CollectiveOp, CollectiveResult
+from repro.comm.topology import P2PMeshTopology, SwitchTopology, Topology
+
+__all__ = [
+    "CollectiveLibrary",
+    "CollectiveOp",
+    "CollectiveResult",
+    "HcclLibrary",
+    "NcclLibrary",
+    "P2PMeshTopology",
+    "SwitchTopology",
+    "Topology",
+    "bus_bandwidth_factor",
+]

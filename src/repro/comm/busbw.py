@@ -1,0 +1,36 @@
+"""NCCL bus-bandwidth reporting conventions.
+
+The paper reports collective performance as *bus bandwidth* "suggested
+by NCCL" (Section 3.4), which normalizes the algorithm bandwidth
+``algbw = size / time`` by a per-operation factor so results are
+comparable to the hardware's link bandwidth:
+
+==============  =================
+operation       busbw / algbw
+==============  =================
+AllReduce       ``2 (n-1) / n``
+AllGather       ``(n-1) / n``
+ReduceScatter   ``(n-1) / n``
+AlltoAll        ``(n-1) / n``
+Reduce          ``1``
+Broadcast       ``1``
+==============  =================
+"""
+
+from __future__ import annotations
+
+from repro.comm.collectives import CollectiveOp
+
+
+def bus_bandwidth_factor(op: CollectiveOp, participants: int) -> float:
+    """busbw / algbw conversion factor per the NCCL tests convention."""
+    if participants < 2:
+        raise ValueError("collectives need at least 2 participants")
+    n = participants
+    if op is CollectiveOp.ALL_REDUCE:
+        return 2.0 * (n - 1) / n
+    if op in (CollectiveOp.ALL_GATHER, CollectiveOp.REDUCE_SCATTER, CollectiveOp.ALL_TO_ALL):
+        return (n - 1) / n
+    if op in (CollectiveOp.REDUCE, CollectiveOp.BROADCAST):
+        return 1.0
+    raise ValueError(f"unknown collective op {op!r}")

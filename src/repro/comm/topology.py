@@ -1,0 +1,100 @@
+"""Intra-node interconnect topologies.
+
+The two server nodes of Table 1 both advertise 300 GB/s of per-device
+intra-node bandwidth, but deliver it very differently (Section 2.1);
+the difference is the whole story of Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import A100_SPEC, GAUDI2_SPEC, DeviceSpec
+
+
+class Topology:
+    """Common interface for intra-node fabrics."""
+
+    num_devices: int
+    base_latency: float
+
+    def validate_participants(self, participants: int) -> None:
+        if not 2 <= participants <= self.num_devices:
+            raise ValueError(
+                f"participants must be in [2, {self.num_devices}], got {participants}"
+            )
+
+    def injection_bandwidth(self, participants: int) -> float:
+        """Usable per-device egress bandwidth (bytes/s) when
+        ``participants`` devices communicate."""
+        raise NotImplementedError
+
+    def pair_bandwidth(self, participants: int) -> float:
+        """Bandwidth between one pair of participating devices."""
+        raise NotImplementedError
+
+
+@dataclass
+class P2PMeshTopology(Topology):
+    """HLS-Gaudi-2: direct point-to-point links between every pair.
+
+    Each Gaudi-2 dedicates 21 of its 24 RoCE ports to intra-node
+    traffic, three 100 GbE links per peer.  When only ``p`` devices
+    participate, each can use just ``3 * (p - 1)`` of its 21 ports --
+    the root cause of the linear bus-bandwidth decline in Figure 10.
+    """
+
+    num_devices: int = 8
+    links_per_pair: int = 3
+    link_bandwidth: float = 12.5e9  # 100 GbE in bytes/s
+    base_latency: float = GAUDI2_SPEC.interconnect.base_latency
+
+    @classmethod
+    def from_spec(cls, spec: DeviceSpec = GAUDI2_SPEC, num_devices: int = 8) -> "P2PMeshTopology":
+        ic = spec.interconnect
+        return cls(
+            num_devices=num_devices,
+            links_per_pair=ic.links_per_pair,
+            link_bandwidth=ic.link_bandwidth,
+            base_latency=ic.base_latency,
+        )
+
+    def pair_bandwidth(self, participants: int) -> float:
+        self.validate_participants(participants)
+        return self.links_per_pair * self.link_bandwidth
+
+    def injection_bandwidth(self, participants: int) -> float:
+        self.validate_participants(participants)
+        return (participants - 1) * self.pair_bandwidth(participants)
+
+
+@dataclass
+class SwitchTopology(Topology):
+    """DGX A100: an all-to-all NVSwitch.
+
+    Every GPU talks to the switch at the full NVLink bandwidth, so the
+    usable bandwidth is independent of how many GPUs participate.
+    """
+
+    num_devices: int = 8
+    per_device_bandwidth: float = 300e9
+    base_latency: float = A100_SPEC.interconnect.base_latency
+
+    @classmethod
+    def from_spec(cls, spec: DeviceSpec = A100_SPEC, num_devices: int = 8) -> "SwitchTopology":
+        ic = spec.interconnect
+        return cls(
+            num_devices=num_devices,
+            per_device_bandwidth=ic.per_device_bandwidth,
+            base_latency=ic.base_latency,
+        )
+
+    def pair_bandwidth(self, participants: int) -> float:
+        self.validate_participants(participants)
+        # A pair can burst at the full injection bandwidth through the
+        # switch (no static partitioning across peers).
+        return self.per_device_bandwidth
+
+    def injection_bandwidth(self, participants: int) -> float:
+        self.validate_participants(participants)
+        return self.per_device_bandwidth

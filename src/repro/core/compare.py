@@ -1,0 +1,77 @@
+"""Two-device comparison summaries (the 'Gaudi-2 improvement over
+A100' framing used throughout the paper's evaluation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.metrics import arithmetic_mean, geometric_mean
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """Summary statistics of per-point ratios (device A over device B)."""
+
+    metric: str
+    ratios: tuple
+    mean: float
+    geomean: float
+    minimum: float
+    maximum: float
+
+    @property
+    def wins(self) -> int:
+        """Points where device A is ahead (ratio > 1)."""
+        return sum(1 for r in self.ratios if r > 1.0)
+
+    @property
+    def count(self) -> int:
+        return len(self.ratios)
+
+
+def compare_metric(
+    metric: str,
+    values_a: Sequence[float],
+    values_b: Sequence[float],
+    higher_is_better: bool = True,
+) -> ComparisonSummary:
+    """Summarize per-point ratios of A over B.
+
+    For latency-like metrics pass ``higher_is_better=False`` and the
+    ratio is inverted so >1 still means "A ahead".
+    """
+    if len(values_a) != len(values_b):
+        raise ValueError("value sequences must have equal length")
+    if not values_a:
+        raise ValueError("need at least one data point")
+    ratios: List[float] = []
+    for a, b in zip(values_a, values_b):
+        if a <= 0 or b <= 0:
+            raise ValueError("comparison values must be positive")
+        ratios.append(a / b if higher_is_better else b / a)
+    return ComparisonSummary(
+        metric=metric,
+        ratios=tuple(ratios),
+        mean=arithmetic_mean(ratios),
+        geomean=geometric_mean(ratios),
+        minimum=min(ratios),
+        maximum=max(ratios),
+    )
+
+
+def paired_rows(
+    rows_a: Sequence[Dict],
+    rows_b: Sequence[Dict],
+    keys: Sequence[str],
+) -> List[tuple]:
+    """Join two row lists on shared parameter keys."""
+    index = {tuple(row[k] for k in keys): row for row in rows_b}
+    pairs = []
+    for row in rows_a:
+        key = tuple(row[k] for k in keys)
+        if key in index:
+            pairs.append((row, index[key]))
+    if not pairs:
+        raise ValueError("no rows matched on the join keys")
+    return pairs

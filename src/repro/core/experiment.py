@@ -1,0 +1,107 @@
+"""Experiment runner: a sweep plus a measurement function.
+
+Each experiment materializes one table or figure's data as a list of
+row dicts, which the figure modules then shape into the paper's
+series/heatmaps and the benchmark harness prints.  Results export to
+CSV/JSON for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.sweep import Sweep
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment run."""
+
+    name: str
+    rows: List[Dict] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def column(self, key: str) -> List:
+        return [row[key] for row in self.rows]
+
+    def where(self, **conditions) -> List[Dict]:
+        """Rows matching all key=value conditions."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in conditions.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- export ----------------------------------------------------------
+    def fieldnames(self) -> List[str]:
+        """Union of row keys, in first-seen order."""
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def to_csv(self) -> str:
+        """Rows as CSV text (missing keys left empty)."""
+        if not self.rows:
+            raise ValueError(f"experiment {self.name!r} has no rows to export")
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.fieldnames())
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """Rows plus metadata as a JSON document."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "wall_seconds": self.wall_seconds,
+                "rows": self.rows,
+            },
+            indent=1,
+            default=str,
+        )
+
+
+class Experiment:
+    """A named measurement over a parameter sweep.
+
+    ``fn(**params)`` returns one row dict (or a list of row dicts); the
+    sweep's parameters are merged into each returned row.
+    """
+
+    def __init__(self, name: str, sweep: Sweep, fn: Callable[..., object]) -> None:
+        self.name = name
+        self.sweep = sweep
+        self.fn = fn
+
+    def run(self, fast: bool = False, stride: int = 2) -> ExperimentResult:
+        """Execute the sweep; ``fast`` thins each axis by ``stride``."""
+        sweep = self.sweep.subset(stride) if fast else self.sweep
+        result = ExperimentResult(name=self.name)
+        started = time.perf_counter()
+        for params in sweep:
+            out = self.fn(**params)
+            rows = out if isinstance(out, list) else [out]
+            for row in rows:
+                if not isinstance(row, dict):
+                    raise TypeError(
+                        f"experiment {self.name!r}: fn must return dict rows, "
+                        f"got {type(row).__name__}"
+                    )
+                merged = dict(params)
+                merged.update(row)
+                result.rows.append(merged)
+        result.wall_seconds = time.perf_counter() - started
+        return result

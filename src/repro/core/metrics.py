@@ -1,0 +1,61 @@
+"""Metric helpers used across experiments and figures."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def tflops(flops: float, seconds: float) -> float:
+    """Achieved TFLOPS."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return flops / seconds / 1e12
+
+
+def utilization(achieved: float, peak: float) -> float:
+    """Achieved / peak, as a fraction."""
+    if peak <= 0:
+        raise ValueError("peak must be positive")
+    return achieved / peak
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Plain ratio with a divide-by-zero guard."""
+    if denominator == 0:
+        raise ZeroDivisionError("denominator is zero")
+    return numerator / denominator
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedups)."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain arithmetic mean."""
+    if not values:
+        raise ValueError("need at least one value")
+    return sum(values) / len(values)
+
+
+def bandwidth_utilization(useful_bytes: float, seconds: float, peak_bandwidth: float) -> float:
+    """Useful bandwidth as a fraction of peak."""
+    if seconds <= 0 or peak_bandwidth <= 0:
+        raise ValueError("seconds and peak_bandwidth must be positive")
+    return (useful_bytes / seconds) / peak_bandwidth
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Simple nearest-rank percentile (q in [0, 100])."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("need at least one value")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    rank = max(1, math.ceil(q / 100 * len(data)))
+    return data[rank - 1]

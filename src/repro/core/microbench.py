@@ -1,0 +1,71 @@
+"""The Table 2 microbenchmark registry.
+
+Table 2 of the paper inventories the microbenchmark suite: what is
+measured, on which system, and with which implementation technology.
+The registry below is that table as data, with each entry pointing at
+the module implementing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class MicrobenchmarkSpec:
+    """One row of Table 2."""
+
+    category: str
+    name: str
+    gaudi_implementation: str
+    a100_implementation: str
+    module: str
+    figure: str
+
+
+MICROBENCHMARKS: Tuple[MicrobenchmarkSpec, ...] = (
+    MicrobenchmarkSpec(
+        category="Compute",
+        name="GEMM",
+        gaudi_implementation="PyTorch API (MME via graph compiler)",
+        a100_implementation="PyTorch API (cuBLAS)",
+        module="repro.kernels.gemm",
+        figure="Figures 4, 5, 7",
+    ),
+    MicrobenchmarkSpec(
+        category="Compute",
+        name="non-GEMM (STREAM ADD/SCALE/TRIAD)",
+        gaudi_implementation="TPC-C",
+        a100_implementation="CUDA",
+        module="repro.kernels.stream",
+        figure="Figure 8",
+    ),
+    MicrobenchmarkSpec(
+        category="Memory",
+        name="Vector gather-scatter",
+        gaudi_implementation="TPC-C",
+        a100_implementation="CUDA",
+        module="repro.kernels.gather_scatter",
+        figure="Figure 9",
+    ),
+    MicrobenchmarkSpec(
+        category="Communication",
+        name="Collective communication",
+        gaudi_implementation="Intel HCCL",
+        a100_implementation="NVIDIA NCCL",
+        module="repro.comm",
+        figure="Figure 10",
+    ),
+)
+
+
+def table2_rows() -> list:
+    """Rows of Table 2 for rendering."""
+    rows = []
+    for spec in MICROBENCHMARKS:
+        rows.append(
+            (spec.category, spec.name, "Gaudi-2", spec.gaudi_implementation)
+        )
+        rows.append(("", "", "A100", spec.a100_implementation))
+    return rows

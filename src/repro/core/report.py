@@ -1,0 +1,79 @@
+"""Plain-text rendering of tables and heatmaps.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output readable in a terminal and in the
+captured ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+#: Shade ramp for text heatmaps (cold -> warm).
+_SHADES = " .:-=+*#%@"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: Optional[str] = None
+) -> str:
+    """Fixed-width ASCII table."""
+    if not headers:
+        raise ValueError("need at least one header")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    grid: Sequence[Sequence[float]],
+    row_labels: Sequence,
+    col_labels: Sequence,
+    title: Optional[str] = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Numeric heatmap with a shade column per cell (warmer = higher)."""
+    if not grid:
+        raise ValueError("grid is empty")
+    flat = [v for row in grid for v in row]
+    lo, hi = min(flat), max(flat)
+    span = hi - lo if hi > lo else 1.0
+
+    def shade(value: float) -> str:
+        index = int((value - lo) / span * (len(_SHADES) - 1))
+        return _SHADES[index]
+
+    label_width = max(len(str(lbl)) for lbl in row_labels)
+    cell_width = max(
+        max(len(fmt.format(v)) for v in flat) + 2,
+        max(len(str(c)) for c in col_labels) + 1,
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 2) + "".join(str(c).rjust(cell_width) for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, grid):
+        cells = "".join((fmt.format(v) + shade(v)).rjust(cell_width) for v in row)
+        lines.append(f"{str(label).rjust(label_width)}  {cells}")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

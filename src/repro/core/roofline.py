@@ -1,0 +1,73 @@
+"""Roofline model (Figure 4).
+
+``attainable(oi) = min(peak_flops, oi * peak_bandwidth)`` -- the
+standard two-ceiling roofline, parameterized per device, with helpers
+to place measured kernels on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hw.spec import DeviceSpec, DType
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    label: str
+    operational_intensity: float
+    achieved_flops: float
+    attainable_flops: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved relative to the roofline ceiling at this intensity."""
+        return self.achieved_flops / self.attainable_flops
+
+
+class Roofline:
+    """A device's roofline: compute ceiling + memory slope."""
+
+    def __init__(self, peak_flops: float, peak_bandwidth: float, name: str = "") -> None:
+        if peak_flops <= 0 or peak_bandwidth <= 0:
+            raise ValueError("peaks must be positive")
+        self.peak_flops = peak_flops
+        self.peak_bandwidth = peak_bandwidth
+        self.name = name
+
+    @classmethod
+    def for_device(cls, spec: DeviceSpec, dtype: DType = DType.BF16) -> "Roofline":
+        return cls(
+            peak_flops=spec.matrix.peak(dtype),
+            peak_bandwidth=spec.memory.bandwidth,
+            name=spec.name,
+        )
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity where the two ceilings meet."""
+        return self.peak_flops / self.peak_bandwidth
+
+    def attainable(self, operational_intensity: float) -> float:
+        """FLOPS attainable at a given operational intensity."""
+        if operational_intensity <= 0:
+            raise ValueError("operational_intensity must be positive")
+        return min(self.peak_flops, operational_intensity * self.peak_bandwidth)
+
+    def is_memory_bound(self, operational_intensity: float) -> bool:
+        return operational_intensity < self.ridge_point
+
+    def place(self, label: str, operational_intensity: float, achieved_flops: float) -> RooflinePoint:
+        return RooflinePoint(
+            label=label,
+            operational_intensity=operational_intensity,
+            achieved_flops=achieved_flops,
+            attainable_flops=self.attainable(operational_intensity),
+        )
+
+    def curve(self, intensities: List[float]) -> List[Tuple[float, float]]:
+        """(intensity, attainable) pairs for plotting."""
+        return [(oi, self.attainable(oi)) for oi in intensities]

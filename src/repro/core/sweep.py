@@ -1,0 +1,50 @@
+"""Parameter sweeps for the heatmap experiments."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Sequence
+
+
+class Sweep:
+    """A named Cartesian parameter grid.
+
+    >>> list(Sweep(batch=[1, 2], dim=[64]))
+    [{'batch': 1, 'dim': 64}, {'batch': 2, 'dim': 64}]
+    """
+
+    def __init__(self, **axes: Sequence) -> None:
+        if not axes:
+            raise ValueError("need at least one axis")
+        for name, values in axes.items():
+            if len(values) == 0:
+                raise ValueError(f"axis {name!r} is empty")
+        self.axes: Dict[str, List] = {name: list(values) for name, values in axes.items()}
+
+    @property
+    def size(self) -> int:
+        product = 1
+        for values in self.axes.values():
+            product *= len(values)
+        return product
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Dict]:
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def subset(self, stride: int) -> "Sweep":
+        """Every ``stride``-th value per axis (for fast benchmark mode)."""
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        return Sweep(
+            **{
+                name: values[::stride] if len(values) > stride else [values[0], values[-1]]
+                if len(values) > 1
+                else values
+                for name, values in self.axes.items()
+            }
+        )

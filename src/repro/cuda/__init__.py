@@ -1,0 +1,12 @@
+"""A100 CUDA kernel analog.
+
+The paper implements its non-GEMM microbenchmarks in CUDA for the A100
+(Table 2).  GPU SMs hide latency with massive multithreading rather
+than VLIW scheduling, so a cycle-accurate pipeline buys nothing here;
+:mod:`repro.cuda.smmodel` models SM throughput and occupancy
+analytically, reusing the shared HBM model for memory behaviour.
+"""
+
+from repro.cuda.smmodel import CudaKernelResult, CudaLauncher
+
+__all__ = ["CudaKernelResult", "CudaLauncher"]

@@ -1,0 +1,33 @@
+"""Regeneration harness: one module per paper table/figure.
+
+Each module exposes ``run(fast=True) -> FigureResult`` producing the
+rows/series the paper reports, plus a ``summary`` dict of the headline
+numbers (the values EXPERIMENTS.md tracks against the paper).  The
+registry in :mod:`repro.figures.common` lets the benchmark harness and
+``repro.figures.generate_all`` enumerate everything.
+"""
+
+from repro.figures import (  # noqa: F401  (registration side effects)
+    figure04,
+    figure05,
+    figure07,
+    figure08,
+    figure09,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure15,
+    figure17,
+    headline,
+    table1,
+    table2,
+)
+from repro.figures.common import FIGURES, FigureResult, get_figure, run_figure
+
+__all__ = ["FIGURES", "FigureResult", "generate_all", "get_figure", "run_figure"]
+
+
+def generate_all(fast: bool = True) -> dict:
+    """Run every registered table/figure; returns {id: FigureResult}."""
+    return {figure_id: run_figure(figure_id, fast=fast) for figure_id in sorted(FIGURES)}

@@ -1,0 +1,105 @@
+"""Markdown paper-vs-measured report generator.
+
+Regenerates the quantitative core of EXPERIMENTS.md from a live run, so
+the tracked numbers can never silently drift from what the code
+produces: ``python -m repro figures --markdown`` (or
+:func:`experiments_markdown`) re-derives the whole comparison table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.figures.common import run_figure
+
+
+@dataclass(frozen=True)
+class TrackedClaim:
+    """One paper claim tracked against the model."""
+
+    figure_id: str
+    summary_key: str
+    description: str
+    paper_value: float
+    #: Accepted band for the measured value (documented tolerance).
+    band: Tuple[float, float]
+
+    def check(self, measured: float) -> bool:
+        low, high = self.band
+        return low <= measured <= high
+
+
+#: The claims EXPERIMENTS.md tracks, with their calibration bands.
+TRACKED_CLAIMS: Tuple[TrackedClaim, ...] = (
+    TrackedClaim("fig04", "gaudi_peak_utilization_largest_square",
+                 "Gaudi-2 peak GEMM utilization", 0.993, (0.97, 1.0)),
+    TrackedClaim("fig05", "mean_square_utilization_delta",
+                 "Mean square-GEMM utilization delta (pp/100)", 0.045, (0.0, 0.25)),
+    TrackedClaim("fig07", "max_configurability_gain",
+                 "MME configurability gain vs fixed array", 0.15, (0.08, 0.22)),
+    TrackedClaim("fig08", "chip_saturation_gflops_add",
+                 "STREAM ADD chip saturation (GFLOPS)", 330.0, (300.0, 380.0)),
+    TrackedClaim("fig08", "chip_saturation_gflops_triad",
+                 "STREAM TRIAD chip saturation (GFLOPS)", 670.0, (620.0, 740.0)),
+    TrackedClaim("fig09", "gaudi_gather_util_large",
+                 "Gaudi >=256 B gather utilization", 0.64, (0.58, 0.74)),
+    # Fast mode samples only the 16 B/64 B sizes, pulling the average
+    # down from the full-grid 0.35; the band covers both modes.
+    TrackedClaim("fig09", "a100_gather_util_small",
+                 "A100 <=128 B gather utilization", 0.36, (0.20, 0.44)),
+    TrackedClaim("fig10", "gaudi_wins_of_6_at_8_devices",
+                 "Collectives Gaudi wins at 8 devices", 5.0, (5.0, 5.0)),
+    TrackedClaim("fig11", "max_speedup",
+                 "RecSys max speedup (wide vectors)", 1.36, (1.2, 1.5)),
+    TrackedClaim("fig12", "single_device_mean_speedup",
+                 "LLM single-device mean speedup", 1.47, (1.25, 1.6)),
+    TrackedClaim("fig13", "multi_device_mean_power_ratio",
+                 "LLM multi-device power ratio", 0.88, (0.8, 0.96)),
+    TrackedClaim("fig15", "batched_peak_utilization",
+                 "BatchedTable peak bandwidth utilization", 0.705, (0.6, 0.78)),
+    TrackedClaim("fig17", "opt_over_base_mean",
+                 "vLLM opt-over-base mean speedup", 7.4, (4.5, 9.0)),
+    TrackedClaim("fig17", "opt_vs_a100_mean",
+                 "vLLM opt vs A100 kernel", 0.45, (0.35, 0.65)),
+)
+
+
+def collect_measurements(fast: bool = True) -> Dict[Tuple[str, str], float]:
+    """Run every figure a tracked claim needs; returns measured values."""
+    needed = sorted({claim.figure_id for claim in TRACKED_CLAIMS})
+    summaries = {figure_id: run_figure(figure_id, fast=fast).summary
+                 for figure_id in needed}
+    return {
+        (claim.figure_id, claim.summary_key):
+            summaries[claim.figure_id][claim.summary_key]
+        for claim in TRACKED_CLAIMS
+    }
+
+
+def experiments_markdown(fast: bool = True) -> str:
+    """The live paper-vs-measured table as markdown."""
+    measured = collect_measurements(fast=fast)
+    lines: List[str] = [
+        "# Paper vs measured (live run)",
+        "",
+        "| Figure | Claim | Paper | Measured | In band |",
+        "|---|---|---|---|---|",
+    ]
+    for claim in TRACKED_CLAIMS:
+        value = measured[(claim.figure_id, claim.summary_key)]
+        status = "yes" if claim.check(value) else "**NO**"
+        lines.append(
+            f"| {claim.figure_id} | {claim.description} | "
+            f"{claim.paper_value:.4g} | {value:.4g} | {status} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def all_claims_in_band(fast: bool = True) -> bool:
+    """True when every tracked claim sits inside its band."""
+    measured = collect_measurements(fast=fast)
+    return all(
+        claim.check(measured[(claim.figure_id, claim.summary_key)])
+        for claim in TRACKED_CLAIMS
+    )

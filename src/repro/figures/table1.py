@@ -1,0 +1,31 @@
+"""Table 1: NVIDIA A100 vs Intel Gaudi-2 spec comparison."""
+
+from __future__ import annotations
+
+from repro.core.report import render_table
+from repro.figures.common import FigureResult, register_figure
+from repro.hw.spec import A100_SPEC, GAUDI2_SPEC, DType, spec_comparison_rows
+
+
+@register_figure("table1")
+def run(fast: bool = True) -> FigureResult:
+    """Regenerate this table's rows, summary, and text report."""
+    rows = [
+        {"metric": metric, "a100": a, "gaudi2": g, "ratio": r}
+        for metric, a, g, r in spec_comparison_rows()
+    ]
+    text = render_table(
+        ["Metric", "NVIDIA A100", "Intel Gaudi-2", "Ratio"],
+        [(r["metric"], r["a100"], r["gaudi2"], r["ratio"]) for r in rows],
+        title="Table 1: Comparison of NVIDIA A100 and Intel Gaudi-2",
+    )
+    summary = {
+        "matrix_tflops_ratio": GAUDI2_SPEC.matrix.peak(DType.BF16)
+        / A100_SPEC.matrix.peak(DType.BF16),
+        "vector_tflops_ratio": GAUDI2_SPEC.vector.peak(DType.BF16)
+        / A100_SPEC.vector.peak(DType.BF16),
+        "bandwidth_ratio": GAUDI2_SPEC.memory.bandwidth / A100_SPEC.memory.bandwidth,
+        "power_ratio": GAUDI2_SPEC.power.tdp_watts / A100_SPEC.power.tdp_watts,
+    }
+    return FigureResult(figure_id="table1", title="Device spec comparison",
+                        rows=rows, summary=summary, text=text)

@@ -1,0 +1,35 @@
+"""Table 2: evaluated microbenchmarks (the suite inventory)."""
+
+from __future__ import annotations
+
+from repro.core.microbench import MICROBENCHMARKS, table2_rows
+from repro.core.report import render_table
+from repro.figures.common import FigureResult, register_figure
+
+
+@register_figure("table2")
+def run(fast: bool = True) -> FigureResult:
+    """Regenerate this table's rows, summary, and text report."""
+    rows = [
+        {
+            "category": spec.category,
+            "microbenchmark": spec.name,
+            "gaudi_impl": spec.gaudi_implementation,
+            "a100_impl": spec.a100_implementation,
+            "module": spec.module,
+            "figure": spec.figure,
+        }
+        for spec in MICROBENCHMARKS
+    ]
+    text = render_table(
+        ["Microbenchmark", "", "System", "Implementation"],
+        table2_rows(),
+        title="Table 2: Evaluated microbenchmarks",
+    )
+    return FigureResult(
+        figure_id="table2",
+        title="Microbenchmark inventory",
+        rows=rows,
+        summary={"num_microbenchmarks": float(len(MICROBENCHMARKS))},
+        text=text,
+    )

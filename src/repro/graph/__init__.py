@@ -1,0 +1,37 @@
+"""Gaudi graph-compiler model.
+
+Users cannot program the MME directly; GEMMs are only reachable from
+the PyTorch level, and the proprietary graph compiler decides how a
+model graph maps onto MME, TPCs and DMA (Section 2.2).  This package
+models the three optimization passes the paper identifies as
+performance-critical:
+
+* :mod:`repro.graph.fusion` -- JIT fusion of element-wise / reduction /
+  normalization chains into single TPC kernels, saving the intermediate
+  tensor traffic;
+* :mod:`repro.graph.mme_config` -- MME geometry selection per GEMM
+  shape (Figure 7(a));
+* :mod:`repro.graph.pipeliner` -- slicing a dependent MME-op/TPC-op
+  pair into sub-operations so the two engines overlap, with on-chip
+  SRAM as the staging buffer.  This pass is the mechanism behind the
+  vLLM\\ :sub:`opt` speedups of Section 4.2.
+
+:mod:`repro.graph.ir` defines the operator graph, and
+:mod:`repro.graph.compiler` ties the passes together into a
+:class:`~repro.graph.compiler.GraphCompiler` that lowers a graph to an
+executable :class:`~repro.graph.scheduler.Timeline`.
+"""
+
+from repro.graph.compiler import CompiledGraph, GraphCompiler
+from repro.graph.ir import Engine, Graph, Op
+from repro.graph.scheduler import Timeline, TimelineEntry
+
+__all__ = [
+    "CompiledGraph",
+    "Engine",
+    "Graph",
+    "GraphCompiler",
+    "Op",
+    "Timeline",
+    "TimelineEntry",
+]

@@ -1,0 +1,79 @@
+"""Element-wise operator fusion pass.
+
+The Gaudi SDK's MLIR-based fuser selects subgraphs of element-wise,
+reduction, and normalization ops and JIT-compiles them into a single
+TPC kernel (Section 2.2), which removes the intermediate tensors' trips
+through HBM.  The pass below fuses maximal chains of ``fusable`` TPC
+ops where each link has exactly one consumer: the fused op keeps the
+first op's input traffic and the last op's output traffic, and sums the
+compute time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.ir import Engine, Graph, Op
+
+
+def _chain_from(start: Op, graph: Graph) -> List[Op]:
+    """Longest fusable single-consumer chain starting at ``start``."""
+    chain = [start]
+    current = start
+    while True:
+        consumers = graph.consumers(current)
+        if len(consumers) != 1:
+            break
+        nxt = consumers[0]
+        if not (nxt.fusable and nxt.engine is Engine.TPC and nxt.inputs == [current]):
+            break
+        chain.append(nxt)
+        current = nxt
+    return chain
+
+
+def fuse_elementwise(graph: Graph) -> Graph:
+    """Return a new graph with fusable TPC chains collapsed."""
+    graph.validate()
+    fused = Graph(name=graph.name)
+    replaced: dict = {}  # original op -> op in the fused graph
+    consumed: set = set()
+
+    for op in graph.ops:
+        if op in consumed:
+            continue
+        if op.fusable and op.engine is Engine.TPC:
+            chain = _chain_from(op, graph)
+        else:
+            chain = [op]
+        head, tail = chain[0], chain[-1]
+        new_inputs = [replaced[p] for p in head.inputs]
+        if len(chain) == 1:
+            new_op = Op(
+                name=op.name,
+                engine=op.engine,
+                compute_time=op.compute_time,
+                input_bytes=op.input_bytes,
+                output_bytes=op.output_bytes,
+                inputs=new_inputs,
+                fusable=op.fusable,
+                sliceable=op.sliceable,
+                annotations=dict(op.annotations),
+            )
+        else:
+            new_op = Op(
+                name="+".join(o.name for o in chain),
+                engine=Engine.TPC,
+                compute_time=sum(o.compute_time for o in chain),
+                input_bytes=head.input_bytes,
+                output_bytes=tail.output_bytes,
+                inputs=new_inputs,
+                fusable=True,
+                sliceable=all(o.sliceable for o in chain),
+                annotations={"fused": [o.name for o in chain]},
+            )
+        fused.add(new_op)
+        for original in chain:
+            replaced[original] = new_op
+            consumed.add(original)
+    return fused

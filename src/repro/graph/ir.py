@@ -1,0 +1,124 @@
+"""Operator-graph intermediate representation.
+
+Each :class:`Op` carries enough cost structure for the compiler passes
+to reason about: which engine executes it, its pure compute time, and
+its input/output traffic (so fusion can delete intermediate tensors and
+the scheduler can apply the memory roofline per op).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Engine(enum.Enum):
+    """Execution engines of the Gaudi device (and their A100 analogs)."""
+
+    MME = "mme"      # matrix engine (Tensor Cores on A100)
+    TPC = "tpc"      # vector engine (SIMD cores on A100)
+    DMA = "dma"      # pure data movement
+
+
+@dataclass
+class Op:
+    """One operator node.
+
+    ``compute_time`` is the engine-busy time excluding memory traffic;
+    ``input_bytes``/``output_bytes`` are off-chip traffic the op would
+    generate when *not* fused with its neighbours.  ``sliceable`` marks
+    ops the pipeliner may split into independent sub-operations along
+    their batch-like dimension.
+    """
+
+    name: str
+    engine: Engine
+    compute_time: float
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+    inputs: List["Op"] = field(default_factory=list)
+    fusable: bool = False
+    sliceable: bool = False
+    #: Free-form annotations filled in by compiler passes.
+    annotations: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.compute_time < 0 or self.input_bytes < 0 or self.output_bytes < 0:
+            raise ValueError(f"op {self.name!r}: costs must be non-negative")
+
+    @property
+    def traffic_bytes(self) -> float:
+        return self.input_bytes + self.output_bytes
+
+    def __repr__(self) -> str:
+        return f"Op({self.name!r}, {self.engine.value})"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class Graph:
+    """A DAG of ops in insertion order (must be topological)."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.ops: List[Op] = []
+
+    def add(self, op: Op) -> Op:
+        for producer in op.inputs:
+            if producer not in self.ops:
+                raise ValueError(
+                    f"op {op.name!r} depends on {producer.name!r} "
+                    "which is not in the graph (insertion must be topological)"
+                )
+        self.ops.append(op)
+        return op
+
+    def add_op(
+        self,
+        name: str,
+        engine: Engine,
+        compute_time: float,
+        input_bytes: float = 0.0,
+        output_bytes: float = 0.0,
+        inputs: Optional[Sequence[Op]] = None,
+        fusable: bool = False,
+        sliceable: bool = False,
+    ) -> Op:
+        """Convenience constructor + insertion."""
+        op = Op(
+            name=name,
+            engine=engine,
+            compute_time=compute_time,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            inputs=list(inputs or []),
+            fusable=fusable,
+            sliceable=sliceable,
+        )
+        return self.add(op)
+
+    def consumers(self, op: Op) -> List[Op]:
+        return [o for o in self.ops if op in o.inputs]
+
+    def validate(self) -> None:
+        """Check topological order and dependency membership."""
+        seen: set = set()
+        for op in self.ops:
+            for producer in op.inputs:
+                if producer not in seen:
+                    raise ValueError(
+                        f"graph {self.name!r}: op {op.name!r} appears before "
+                        f"its producer {producer.name!r}"
+                    )
+            seen.add(op)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterable[Op]:
+        return iter(self.ops)

@@ -1,0 +1,44 @@
+"""MME geometry-selection pass.
+
+Annotates every MME op that carries a GEMM shape with the geometry the
+reconfigurable MME would use (Figure 7(a)) and with whether the shape
+power-gates part of the MAC array -- the power model consumes the
+latter.  GEMM shapes are attached by workload builders as the
+``"gemm_shape"`` annotation, ``(batch, m, k, n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.ir import Engine, Graph
+from repro.hw.mme import MmeModel
+from repro.hw.spec import DType
+
+
+def annotate_mme_configs(graph: Graph, mme: MmeModel, dtype: DType = DType.BF16) -> Graph:
+    """Attach chosen MME geometry labels to MME ops, in place."""
+    for op in graph.ops:
+        if op.engine is not Engine.MME:
+            continue
+        shape = op.annotations.get("gemm_shape")
+        if shape is None:
+            continue
+        batch, m, k, n = _as_shape(shape)
+        config = mme.select_config(m, k, n, dtype)
+        op.annotations["mme_geometry"] = config.geometry.label
+        op.annotations["mme_power_gated"] = config.power_gated
+        op.annotations["mme_active_fraction"] = (
+            config.geometry.active_macs / mme.spec.matrix.total_macs
+        )
+    return graph
+
+
+def _as_shape(shape: object) -> Tuple[int, int, int, int]:
+    try:
+        batch, m, k, n = shape  # type: ignore[misc]
+        return int(batch), int(m), int(k), int(n)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"gemm_shape annotation must be (batch, m, k, n), got {shape!r}"
+        ) from None

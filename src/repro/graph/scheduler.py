@@ -1,0 +1,136 @@
+"""Timeline scheduler: lowers a compiled graph to engine-busy intervals.
+
+Ops execute in topological (insertion) order; each op's duration is the
+roofline maximum of its engine-compute time and its HBM traffic time,
+plus a small on-device dispatch overhead.  Pipelined super-ops created
+by :mod:`repro.graph.pipeliner` occupy both engines for the overlapped
+window.  The resulting :class:`Timeline` also aggregates the engine
+activity profile the power model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.graph.ir import Engine, Graph, Op
+from repro.graph.pipeliner import SLICE_OVERHEAD, pipelined_duration
+from repro.hw.power import ActivityProfile
+from repro.hw.spec import DeviceSpec
+
+#: On-device dispatch cost per lowered op (HPU-graph replay, not a host
+#: kernel launch).
+DEFAULT_OP_DISPATCH = 1e-6
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One scheduled op."""
+
+    name: str
+    engine: Engine
+    start: float
+    end: float
+    compute_time: float
+    traffic_bytes: float
+    pipelined: bool = False
+    #: Busy time of the *other* engine during a pipelined window.
+    partner_busy: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Schedule of a whole graph on one device."""
+
+    entries: List[TimelineEntry] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return self.entries[-1].end if self.entries else 0.0
+
+    def engine_busy(self, engine: Engine) -> float:
+        busy = 0.0
+        for e in self.entries:
+            if e.engine is engine:
+                busy += min(e.compute_time, e.duration)
+            elif e.pipelined:
+                busy += min(e.partner_busy, e.duration)
+        return busy
+
+    def total_traffic(self) -> float:
+        return sum(e.traffic_bytes for e in self.entries)
+
+    def activity_profile(
+        self, spec: DeviceSpec, matrix_active_fraction: float = 1.0
+    ) -> ActivityProfile:
+        """Time-averaged activity for the power model."""
+        total = self.total_time
+        if total <= 0:
+            return ActivityProfile()
+        memory_util = min(
+            1.0, self.total_traffic() / (total * spec.memory.bandwidth)
+        )
+        return ActivityProfile(
+            matrix_busy=min(1.0, self.engine_busy(Engine.MME) / total),
+            matrix_active_fraction=matrix_active_fraction,
+            vector_busy=min(1.0, self.engine_busy(Engine.TPC) / total),
+            memory_util=memory_util,
+        )
+
+
+def schedule(
+    graph: Graph,
+    spec: DeviceSpec,
+    op_dispatch_overhead: float = DEFAULT_OP_DISPATCH,
+) -> Timeline:
+    """Serially schedule ``graph`` on a device, honoring pipelined ops."""
+    graph.validate()
+    stream_bw = spec.memory.bandwidth * spec.memory.stream_efficiency
+    timeline = Timeline()
+    clock = 0.0
+    for op in graph.ops:
+        pipe = op.annotations.get("pipelined")
+        if pipe is not None:
+            duration, partner_busy, compute = _pipelined_times(op, stream_bw)
+        else:
+            memory_time = op.traffic_bytes / stream_bw if op.traffic_bytes else 0.0
+            duration = max(op.compute_time, memory_time)
+            partner_busy = 0.0
+            compute = op.compute_time
+        duration += op_dispatch_overhead
+        entry = TimelineEntry(
+            name=op.name,
+            engine=op.engine,
+            start=clock,
+            end=clock + duration,
+            compute_time=compute,
+            traffic_bytes=op.traffic_bytes,
+            pipelined=pipe is not None,
+            partner_busy=partner_busy,
+        )
+        timeline.entries.append(entry)
+        clock = entry.end
+    return timeline
+
+
+def _pipelined_times(op: Op, stream_bw: float) -> tuple:
+    """Duration and engine-busy split of a pipelined super-op."""
+    producer_compute = float(op.annotations["producer_compute"])
+    consumer_compute = float(op.annotations["consumer_compute"])
+    producer_traffic = float(op.annotations.get("producer_traffic", 0.0))
+    consumer_traffic = float(op.annotations.get("consumer_traffic", 0.0))
+    slices = int(op.annotations.get("slices", 8))
+    producer_time = max(producer_compute, producer_traffic / stream_bw)
+    consumer_time = max(consumer_compute, consumer_traffic / stream_bw)
+    duration = pipelined_duration(producer_time, consumer_time, slices, SLICE_OVERHEAD)
+    # The op's nominal engine gets the longer phase as its busy time;
+    # the partner engine is busy for the shorter phase.
+    if op.annotations.get("producer_engine") == op.engine.value:
+        own, partner = producer_compute, consumer_compute
+    else:
+        own, partner = consumer_compute, producer_compute
+    return duration, partner, own

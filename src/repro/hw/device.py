@@ -1,0 +1,179 @@
+"""Device facades tying the component models together.
+
+:class:`Gaudi2Device` and :class:`A100Device` expose a common interface
+(GEMM execution, HBM model, vector-engine model, power model, launch
+overheads) so kernels, the graph compiler, and the serving stack can be
+written once and run against either platform -- the same property the
+paper attributes to PyTorch's device abstraction (Figure 2(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hw.memory import HbmModel
+from repro.hw.mme import MmeModel
+from repro.hw.power import PowerModel
+from repro.hw.spec import A100_SPEC, GAUDI2_SPEC, DeviceSpec, DType, get_spec
+from repro.hw.tensorcore import TensorCoreModel
+from repro.hw.vector_unit import VectorUnitModel
+
+
+@dataclass(frozen=True)
+class MatmulResult:
+    """Device-independent GEMM execution estimate."""
+
+    m: int
+    k: int
+    n: int
+    batch: int
+    dtype: DType
+    time: float
+    achieved_flops: float
+    utilization: float
+    memory_bound: bool
+    #: Fraction of the matrix engine's MAC array powered during the op
+    #: (less than 1.0 only for power-gated MME geometries).
+    active_mac_fraction: float
+    #: Human-readable description of the chosen engine configuration.
+    config_label: str
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.batch * self.m * self.k * self.n
+
+
+class Device:
+    """Common base class for the two modelled platforms."""
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        self.hbm = HbmModel(spec.memory)
+        self.vector = VectorUnitModel(spec.vector)
+        self.power = PowerModel(spec.power)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.spec.name})"
+
+    # -- interface -----------------------------------------------------
+    def gemm(
+        self, m: int, k: int, n: int, dtype: DType = DType.BF16, batch: int = 1
+    ) -> MatmulResult:
+        """Execute one (optionally batched) GEMM on the matrix engine."""
+        raise NotImplementedError
+
+    def matrix_utilization(self, m: int, k: int, n: int, dtype: DType = DType.BF16) -> float:
+        """Achieved/peak utilization of one GEMM shape."""
+        return self.gemm(m, k, n, dtype).utilization
+
+    @property
+    def kernel_launch_overhead(self) -> float:
+        return self.spec.kernel_launch_overhead
+
+    @property
+    def peak_matrix_flops(self) -> float:
+        return self.spec.matrix.peak(DType.BF16)
+
+    @property
+    def peak_vector_flops(self) -> float:
+        return self.spec.vector.peak(DType.BF16)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.spec.memory.bandwidth
+
+
+class Gaudi2Device(Device):
+    """Intel Gaudi-2: reconfigurable MME + 24 programmable TPCs."""
+
+    def __init__(self, spec: DeviceSpec = GAUDI2_SPEC, mme_configurable: bool = True) -> None:
+        super().__init__(spec)
+        self.mme = MmeModel(spec, configurable=mme_configurable)
+
+    def gemm(
+        self, m: int, k: int, n: int, dtype: DType = DType.BF16, batch: int = 1
+    ) -> MatmulResult:
+        estimate = (
+            self.mme.gemm(m, k, n, dtype)
+            if batch == 1
+            else self.mme.batched_gemm(batch, m, k, n, dtype)
+        )
+        return MatmulResult(
+            m=m,
+            k=k,
+            n=n,
+            batch=batch,
+            dtype=dtype,
+            time=estimate.time,
+            achieved_flops=estimate.achieved_flops,
+            utilization=estimate.utilization,
+            memory_bound=estimate.memory_bound,
+            active_mac_fraction=estimate.active_mac_fraction,
+            config_label=f"MME {estimate.config_label}",
+        )
+
+
+class A100Device(Device):
+    """NVIDIA A100: Tensor Cores + 108 SMs of SIMD cores."""
+
+    def __init__(self, spec: DeviceSpec = A100_SPEC) -> None:
+        super().__init__(spec)
+        self.tensorcore = TensorCoreModel(spec)
+
+    def gemm(
+        self, m: int, k: int, n: int, dtype: DType = DType.BF16, batch: int = 1
+    ) -> MatmulResult:
+        estimate = (
+            self.tensorcore.gemm(m, k, n, dtype)
+            if batch == 1
+            else self.tensorcore.batched_gemm(batch, m, k, n, dtype)
+        )
+        tm, tn = estimate.tile
+        return MatmulResult(
+            m=m,
+            k=k,
+            n=n,
+            batch=batch,
+            dtype=dtype,
+            time=estimate.time,
+            achieved_flops=estimate.achieved_flops,
+            utilization=estimate.utilization,
+            memory_bound=estimate.memory_bound,
+            active_mac_fraction=1.0,
+            config_label=f"CTA {tm}x{tn}, {estimate.waves} waves",
+        )
+
+
+_CACHE: Dict[str, Device] = {}
+
+
+def get_device(name: str, fresh: bool = False) -> Device:
+    """Return the device model for ``name``.
+
+    Known names: "gaudi2"/"hpu", "a100"/"cuda", and "gaudi3" (the
+    projection of :mod:`repro.hw.gaudi3`).  Devices are stateless, so
+    instances are cached unless ``fresh``.
+    """
+    if name.lower() in ("gaudi3", "gaudi-3"):
+        from repro.hw.gaudi3 import Gaudi3Device
+
+        key = "Gaudi-3"
+        if fresh or key not in _CACHE:
+            device: Device = Gaudi3Device()
+            if fresh:
+                return device
+            _CACHE[key] = device
+        return _CACHE[key]
+    spec = get_spec(name)
+    key = spec.name
+    if fresh or key not in _CACHE:
+        device = Gaudi2Device(spec) if spec.vendor == "Intel" else A100Device(spec)
+        if fresh:
+            return device
+        _CACHE[key] = device
+    return _CACHE[key]

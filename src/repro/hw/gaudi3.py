@@ -1,0 +1,134 @@
+"""Gaudi-3 projection (extension).
+
+Footnote 1 of the paper: "The hardware and software architecture of
+Intel's recently announced Gaudi-3 is virtually identical to that of
+Gaudi-2 ... except that Gaudi-3 offers higher compute and memory
+throughput, thanks to its chiplet-based design."  This module projects
+the study onto Gaudi-3 by scaling the Gaudi-2 spec sheet with the
+publicly announced numbers (Hot Chips 2024 [40] / the Gaudi-3 white
+paper [30]):
+
+* 8 MMEs (2 chiplets x 4) -> 1,835 TFLOPS BF16;
+* 64 TPCs -> ~29 TFLOPS BF16 vector;
+* 128 GB HBM2E at 3.7 TB/s; 96 MB SRAM;
+* 24 x 200 GbE RoCE (double the per-link rate, same P2P topology);
+* 900 W TDP (OAM).
+
+Everything else -- the 256 B access granularity, the single-threaded
+TPC model, the P2P mesh, the graph-compiler-only MME access -- carries
+over unchanged, exactly as the footnote asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.hw.device import Gaudi2Device
+from repro.hw.mme import MmeModel
+from repro.hw.spec import (
+    DType,
+    DeviceSpec,
+    GAUDI2_SPEC,
+    GIGA,
+    InterconnectSpec,
+    MatrixEngineSpec,
+    MemorySpec,
+    PowerSpec,
+    TERA,
+    VectorEngineSpec,
+)
+from repro.hw.systolic import SystolicGeometry
+
+#: Full-array geometries for the 8-engine MME pool; the per-chiplet
+#: merge options mirror Gaudi-2's, replicated across chiplets.
+GAUDI3_GEOMETRIES: Sequence[SystolicGeometry] = (
+    SystolicGeometry(256, 256, 8),
+    SystolicGeometry(512, 256, 4),
+    SystolicGeometry(256, 512, 4),
+    SystolicGeometry(1024, 128, 4),
+    SystolicGeometry(128, 1024, 4),
+    SystolicGeometry(2048, 64, 4),
+    SystolicGeometry(4096, 32, 4),
+    # Power-gated subsets.
+    SystolicGeometry(256, 256, 2),
+    SystolicGeometry(256, 256, 1),
+    SystolicGeometry(128, 256, 1),
+    SystolicGeometry(128, 128, 1),
+    SystolicGeometry(64, 64, 1),
+)
+
+
+def _gaudi3_spec() -> DeviceSpec:
+    base = GAUDI2_SPEC
+    mme_macs = 8 * 256 * 256
+    mme_peak = 1835 * TERA
+    tpc_cores = 64
+    tpc_peak = base.vector.peak(DType.BF16) * tpc_cores / base.vector.num_cores
+    matrix = MatrixEngineSpec(
+        name="MME (Gaudi-3)",
+        peak_flops={
+            DType.BF16: mme_peak,
+            DType.FP16: mme_peak,
+            DType.FP32: 0.25 * mme_peak,
+            DType.INT8: 2.0 * mme_peak,
+        },
+        total_macs=mme_macs,
+        clock_hz=mme_peak / (2.0 * mme_macs),
+        configurable=True,
+    )
+    vector = replace(
+        base.vector,
+        name="TPC (Gaudi-3)",
+        peak_flops={
+            DType.BF16: tpc_peak,
+            DType.FP16: tpc_peak,
+            DType.FP32: 0.5 * tpc_peak,
+            DType.INT8: 2.0 * tpc_peak,
+        },
+        num_cores=tpc_cores,
+    )
+    memory = replace(
+        base.memory,
+        capacity_bytes=128 * 1024**3,
+        bandwidth=3.7 * TERA,
+        sram_bytes=96 * 1024**2,
+        max_random_transactions=3.7 * TERA * base.memory.random_efficiency / 256.0,
+    )
+    interconnect = InterconnectSpec(
+        kind="p2p-mesh",
+        per_device_bandwidth=600 * GIGA,
+        links_per_pair=3,
+        link_bandwidth=25 * GIGA,  # 200 GbE
+        base_latency=base.interconnect.base_latency,
+        protocol_efficiency=base.interconnect.protocol_efficiency,
+    )
+    power = PowerSpec(
+        tdp_watts=900.0,
+        idle_watts=50.0,
+        matrix_watts=430.0,
+        vector_watts=130.0,
+        memory_watts=250.0,
+        comm_watts=35.0,
+        matrix_power_gating=True,
+    )
+    return replace(
+        base,
+        name="Gaudi-3",
+        matrix=matrix,
+        vector=vector,
+        memory=memory,
+        interconnect=interconnect,
+        power=power,
+    )
+
+
+GAUDI3_SPEC: DeviceSpec = _gaudi3_spec()
+
+
+class Gaudi3Device(Gaudi2Device):
+    """Gaudi-3 device facade (Gaudi-2 behaviour, scaled engines)."""
+
+    def __init__(self) -> None:
+        super().__init__(GAUDI3_SPEC)
+        self.mme = MmeModel(GAUDI3_SPEC, geometries=GAUDI3_GEOMETRIES)

@@ -1,0 +1,165 @@
+"""HBM memory-system model.
+
+Two behaviours from the paper drive everything downstream:
+
+* **Streaming accesses** run near peak DRAM efficiency, slightly
+  degraded per extra concurrent stream (row-buffer conflicts) -- this
+  sets the STREAM saturation levels of Figure 8(c).
+* **Random accesses** (vector gather/scatter, Figure 9) pay two
+  penalties: *granularity waste* (a ``g``-byte access still moves
+  ``ceil(g / min_access)`` full granules -- 256 B on Gaudi-2, 32 B
+  sectors on A100) and a *transaction-rate ceiling* (row activations /
+  address handling), which is what limits the A100 below what pure
+  sector arithmetic would predict for tiny vectors.
+
+On A100 the 40 MB L2 acts as a transparent cache, so a random-access
+working set that fits in it is served at L2 bandwidth; Gaudi-2's 48 MB
+SRAM is compiler-managed scratchpad and gives no such free locality.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.hw.spec import DeviceSpec, MemorySpec
+
+#: L2-hit bandwidth multiplier over DRAM bandwidth (A100's L2 delivers
+#: roughly 2.5x HBM bandwidth for hit traffic).
+_L2_BANDWIDTH_FACTOR = 2.5
+
+
+class AccessPattern(enum.Enum):
+    STREAM = "stream"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Result of a memory traffic estimate."""
+
+    useful_bytes: float
+    moved_bytes: float
+    time: float
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        return self.useful_bytes / self.time if self.time > 0 else 0.0
+
+
+class HbmModel:
+    """Bandwidth model for one device's HBM subsystem."""
+
+    def __init__(self, spec: MemorySpec) -> None:
+        self.spec = spec
+
+    @classmethod
+    def for_device(cls, device_spec: DeviceSpec) -> "HbmModel":
+        return cls(device_spec.memory)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def stream_efficiency(self, num_streams: int = 2) -> float:
+        """DRAM efficiency for ``num_streams`` concurrent linear streams."""
+        if num_streams < 1:
+            raise ValueError("num_streams must be >= 1")
+        penalty = self.spec.stream_conflict_penalty * max(0, num_streams - 2)
+        return max(0.35, self.spec.stream_efficiency - penalty)
+
+    def stream_bandwidth(self, num_streams: int = 2) -> float:
+        """Achievable bandwidth (bytes/s) for streaming access."""
+        return self.spec.bandwidth * self.stream_efficiency(num_streams)
+
+    def stream_time(self, useful_bytes: float, num_streams: int = 2) -> float:
+        """Time to move ``useful_bytes`` with streaming access."""
+        return useful_bytes / self.stream_bandwidth(num_streams)
+
+    # ------------------------------------------------------------------
+    # Random (gather / scatter)
+    # ------------------------------------------------------------------
+    def _granule_bytes(self, access_bytes: int) -> int:
+        granule = self.spec.min_access_bytes
+        return granule * math.ceil(access_bytes / granule)
+
+    def granularity_efficiency(self, access_bytes: int) -> float:
+        """Fraction of moved bytes that are useful for one access."""
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        return access_bytes / self._granule_bytes(access_bytes)
+
+    def random_bandwidth(
+        self,
+        access_bytes: int,
+        is_write: bool = False,
+        working_set_bytes: float = float("inf"),
+    ) -> float:
+        """Useful bandwidth (bytes/s) for random accesses of a given size.
+
+        ``working_set_bytes`` enables the L2-resident fast path on
+        devices whose SRAM is a transparent cache.
+        """
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        moved_per_access = self._granule_bytes(access_bytes)
+        if is_write and self.spec.scatter_rmw and access_bytes < self.spec.min_access_bytes:
+            # Sub-granule scatter: read-modify-write doubles the traffic.
+            moved_per_access *= 2
+        dram_bw = self.spec.bandwidth * self.spec.random_efficiency
+        if self.spec.sram_is_cache and working_set_bytes <= self.spec.sram_bytes:
+            dram_bw = self.spec.bandwidth * _L2_BANDWIDTH_FACTOR
+        bw_limited = dram_bw * (access_bytes / moved_per_access)
+        rate_limited = self.spec.max_random_transactions * access_bytes
+        return min(bw_limited, rate_limited)
+
+    def random_utilization(
+        self,
+        access_bytes: int,
+        is_write: bool = False,
+        working_set_bytes: float = float("inf"),
+    ) -> float:
+        """Useful bandwidth as a fraction of peak HBM bandwidth."""
+        bw = self.random_bandwidth(access_bytes, is_write, working_set_bytes)
+        return bw / self.spec.bandwidth
+
+    def gather_time(
+        self,
+        num_accesses: int,
+        access_bytes: int,
+        working_set_bytes: float = float("inf"),
+    ) -> float:
+        """Time for ``num_accesses`` random reads of ``access_bytes``."""
+        bw = self.random_bandwidth(access_bytes, False, working_set_bytes)
+        return num_accesses * access_bytes / bw
+
+    def scatter_time(
+        self,
+        num_accesses: int,
+        access_bytes: int,
+        working_set_bytes: float = float("inf"),
+    ) -> float:
+        """Time for ``num_accesses`` random writes of ``access_bytes``."""
+        bw = self.random_bandwidth(access_bytes, True, working_set_bytes)
+        return num_accesses * access_bytes / bw
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        pattern: AccessPattern,
+        useful_bytes: float,
+        access_bytes: int = 0,
+        num_streams: int = 2,
+        is_write: bool = False,
+        working_set_bytes: float = float("inf"),
+    ) -> TrafficEstimate:
+        """Unified entry point returning a full :class:`TrafficEstimate`."""
+        if pattern is AccessPattern.STREAM:
+            time = self.stream_time(useful_bytes, num_streams)
+            return TrafficEstimate(useful_bytes, useful_bytes, time)
+        if access_bytes <= 0:
+            raise ValueError("random access requires access_bytes > 0")
+        num = useful_bytes / access_bytes
+        moved = num * self._granule_bytes(access_bytes)
+        bw = self.random_bandwidth(access_bytes, is_write, working_set_bytes)
+        return TrafficEstimate(useful_bytes, moved, useful_bytes / bw)

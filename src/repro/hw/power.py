@@ -1,0 +1,169 @@
+"""Activity-based power and energy model.
+
+The paper measures board power with ``nvidia-smi`` / ``hl-smi`` while
+serving end-to-end workloads (Section 3.5).  We model board power as
+
+``P = P_idle + P_matrix * matrix_activity + P_vector * vector_activity
+      + P_memory * memory_activity``
+
+where each activity term is the busy fraction of that engine weighted
+by how much of it is switching.  Two behaviours the paper calls out are
+captured explicitly:
+
+* **MME power gating** -- when the graph compiler configures a
+  power-gated geometry for small GEMMs (Figure 7(a), gray configs), the
+  matrix term scales with the *active MAC fraction*.  This is the
+  paper's explanation for Gaudi-2 drawing less power than its 1.5x TDP
+  ratio would suggest at small LLM batch sizes.
+* **TDP clamp** -- sustained power never exceeds the board TDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import DeviceSpec, PowerSpec
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Time-averaged engine activity during a workload phase.
+
+    All fields are fractions in [0, 1].
+
+    ``matrix_busy``: fraction of time the matrix engine executes.
+    ``matrix_active_fraction``: fraction of the MAC array powered while
+    busy (1.0 unless a power-gated geometry is configured).
+    ``vector_busy``: fraction of time the vector engines execute.
+    ``memory_util``: achieved fraction of peak HBM bandwidth.
+    """
+
+    matrix_busy: float = 0.0
+    matrix_active_fraction: float = 1.0
+    vector_busy: float = 0.0
+    memory_util: float = 0.0
+    comm_busy: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "matrix_busy",
+            "matrix_active_fraction",
+            "vector_busy",
+            "memory_util",
+            "comm_busy",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """Power and energy for one workload phase."""
+
+    watts: float
+    seconds: float
+
+    @property
+    def joules(self) -> float:
+        return self.watts * self.seconds
+
+
+class ActivityAccumulator:
+    """Accumulates engine work across a workload into an activity profile.
+
+    Work is accounted in *engine-seconds at full width*: a GEMM
+    contributes ``flops / peak_matrix_flops`` seconds of matrix-engine
+    activity weighted by the active MAC fraction of its chosen
+    geometry; traffic contributes ``bytes / peak_bandwidth`` of memory
+    activity.  Dividing by wall-clock time yields the time-averaged
+    busy fractions the power model consumes.
+    """
+
+    def __init__(self) -> None:
+        self.matrix_seconds = 0.0
+        self.matrix_active_weighted = 0.0
+        self.vector_seconds = 0.0
+        self.memory_seconds = 0.0
+        self.comm_seconds = 0.0
+
+    def add_matrix(self, busy_seconds: float, active_fraction: float = 1.0) -> None:
+        if busy_seconds < 0:
+            raise ValueError("busy_seconds must be non-negative")
+        self.matrix_seconds += busy_seconds
+        self.matrix_active_weighted += busy_seconds * active_fraction
+
+    def add_vector(self, busy_seconds: float) -> None:
+        if busy_seconds < 0:
+            raise ValueError("busy_seconds must be non-negative")
+        self.vector_seconds += busy_seconds
+
+    def add_memory(self, busy_seconds: float) -> None:
+        if busy_seconds < 0:
+            raise ValueError("busy_seconds must be non-negative")
+        self.memory_seconds += busy_seconds
+
+    def add_comm(self, busy_seconds: float) -> None:
+        if busy_seconds < 0:
+            raise ValueError("busy_seconds must be non-negative")
+        self.comm_seconds += busy_seconds
+
+    def merge(self, other: "ActivityAccumulator") -> None:
+        self.matrix_seconds += other.matrix_seconds
+        self.matrix_active_weighted += other.matrix_active_weighted
+        self.vector_seconds += other.vector_seconds
+        self.memory_seconds += other.memory_seconds
+        self.comm_seconds += other.comm_seconds
+
+    def profile(self, wall_seconds: float) -> ActivityProfile:
+        if wall_seconds <= 0:
+            raise ValueError("wall_seconds must be positive")
+        matrix_busy = min(1.0, self.matrix_seconds / wall_seconds)
+        active_fraction = (
+            self.matrix_active_weighted / self.matrix_seconds
+            if self.matrix_seconds > 0
+            else 1.0
+        )
+        return ActivityProfile(
+            matrix_busy=matrix_busy,
+            matrix_active_fraction=min(1.0, active_fraction),
+            vector_busy=min(1.0, self.vector_seconds / wall_seconds),
+            memory_util=min(1.0, self.memory_seconds / wall_seconds),
+            comm_busy=min(1.0, self.comm_seconds / wall_seconds),
+        )
+
+
+class PowerModel:
+    """Board-power model for one device."""
+
+    def __init__(self, spec: PowerSpec) -> None:
+        self.spec = spec
+
+    @classmethod
+    def for_device(cls, device_spec: DeviceSpec) -> "PowerModel":
+        return cls(device_spec.power)
+
+    def power(self, activity: ActivityProfile) -> float:
+        """Instantaneous board power in watts for an activity profile."""
+        spec = self.spec
+        matrix_fraction = (
+            activity.matrix_active_fraction if spec.matrix_power_gating else 1.0
+        )
+        watts = (
+            spec.idle_watts
+            + spec.matrix_watts * activity.matrix_busy * matrix_fraction
+            + spec.vector_watts * activity.vector_busy
+            + spec.memory_watts * activity.memory_util
+            + spec.comm_watts * activity.comm_busy
+        )
+        return min(watts, spec.tdp_watts)
+
+    def sample(self, activity: ActivityProfile, seconds: float) -> PowerSample:
+        """Power draw sustained for ``seconds``."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return PowerSample(watts=self.power(activity), seconds=seconds)
+
+    def energy(self, activity: ActivityProfile, seconds: float) -> float:
+        """Energy in joules for a phase."""
+        return self.sample(activity, seconds).joules

@@ -1,0 +1,73 @@
+"""Peak-throughput accounting for the programmable vector engines.
+
+The spec'd peaks (11 TFLOPS for 24 TPCs, 39 TFLOPS for A100 SIMD cores,
+BF16) assume fused multiply-accumulate instructions that retire two
+FLOPs per lane per cycle.  A kernel built from plain adds or multiplies
+(STREAM's ADD and SCALE) can reach at most half of that -- which is
+exactly the 50 %/50 %/99 % saturation split measured in Figure 8(d-f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import DeviceSpec, DType, VectorEngineSpec
+
+
+@dataclass(frozen=True)
+class VectorThroughput:
+    """Peak throughput of a vector-engine configuration."""
+
+    flops: float
+    fraction_of_peak: float
+
+
+class VectorUnitModel:
+    """Throughput model for one device's vector engines."""
+
+    def __init__(self, spec: VectorEngineSpec) -> None:
+        self.spec = spec
+
+    @classmethod
+    def for_device(cls, device_spec: DeviceSpec) -> "VectorUnitModel":
+        return cls(device_spec.vector)
+
+    def peak_flops(self, dtype: DType = DType.BF16, num_cores: int | None = None) -> float:
+        """Peak FMA FLOPS for ``num_cores`` engines (default: all)."""
+        cores = self.spec.num_cores if num_cores is None else num_cores
+        if not 0 < cores <= self.spec.num_cores:
+            raise ValueError(
+                f"num_cores must be in (0, {self.spec.num_cores}], got {cores}"
+            )
+        return self.spec.peak(dtype) * cores / self.spec.num_cores
+
+    def sustained_flops(
+        self,
+        dtype: DType = DType.BF16,
+        uses_fma: bool = True,
+        num_cores: int | None = None,
+    ) -> VectorThroughput:
+        """Sustained compute ceiling for a kernel's instruction mix.
+
+        ``uses_fma=False`` models kernels whose arithmetic is plain
+        adds/multiplies (one FLOP per lane per cycle instead of two).
+        """
+        peak = self.peak_flops(dtype, num_cores)
+        fraction = 1.0 if uses_fma else 0.5
+        return VectorThroughput(flops=peak * fraction, fraction_of_peak=fraction)
+
+    def elementwise_time(
+        self,
+        num_elements: int,
+        flops_per_element: float,
+        dtype: DType = DType.BF16,
+        uses_fma: bool = True,
+        num_cores: int | None = None,
+    ) -> float:
+        """Compute-only time for an element-wise kernel."""
+        if num_elements < 0 or flops_per_element < 0:
+            raise ValueError("element count and flops must be non-negative")
+        if num_elements == 0 or flops_per_element == 0:
+            return 0.0
+        ceiling = self.sustained_flops(dtype, uses_fma, num_cores).flops
+        return num_elements * flops_per_element / ceiling

@@ -1,0 +1,82 @@
+"""Element-wise operator cost helpers.
+
+Model graphs (DLRM, Llama) need costs for activations, bias adds,
+normalization, and residual sums.  These are vector-engine ops on
+either platform; the helpers below produce the ``(compute_time,
+input_bytes, output_bytes)`` triple a :class:`repro.graph.ir.Op`
+carries, plus numpy semantics for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.spec import DeviceSpec, DType
+from repro.hw.vector_unit import VectorUnitModel
+
+
+@dataclass(frozen=True)
+class ElementwiseCost:
+    """Cost triple for one element-wise op."""
+
+    compute_time: float
+    input_bytes: float
+    output_bytes: float
+
+
+def elementwise_cost(
+    spec: DeviceSpec,
+    num_elements: int,
+    flops_per_element: float = 1.0,
+    num_inputs: int = 1,
+    dtype: DType = DType.BF16,
+    uses_fma: bool = False,
+) -> ElementwiseCost:
+    """Cost of an element-wise op over ``num_elements`` outputs."""
+    if num_elements < 0 or num_inputs < 1:
+        raise ValueError("num_elements must be >= 0 and num_inputs >= 1")
+    vector = VectorUnitModel(spec.vector)
+    compute = vector.elementwise_time(num_elements, flops_per_element, dtype, uses_fma)
+    itemsize = dtype.itemsize
+    return ElementwiseCost(
+        compute_time=compute,
+        input_bytes=float(num_elements) * itemsize * num_inputs,
+        output_bytes=float(num_elements) * itemsize,
+    )
+
+
+def activation_cost(spec: DeviceSpec, num_elements: int, dtype: DType = DType.BF16) -> ElementwiseCost:
+    """SiLU/GELU-style activation: ~4 vector ops per element."""
+    return elementwise_cost(spec, num_elements, flops_per_element=4.0, dtype=dtype)
+
+
+def layernorm_cost(spec: DeviceSpec, num_elements: int, dtype: DType = DType.BF16) -> ElementwiseCost:
+    """RMSNorm/LayerNorm: ~6 vector ops per element (two passes fused)."""
+    return elementwise_cost(spec, num_elements, flops_per_element=6.0, dtype=dtype)
+
+
+# -- functional semantics ------------------------------------------------
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU activation, ``x * sigmoid(x)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return x / (1.0 + np.exp(-x))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU activation (tanh approximation)."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """ReLU activation."""
+    return np.maximum(np.asarray(x), 0.0)
+
+
+def rmsnorm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """RMS normalization over the last axis."""
+    x = np.asarray(x, dtype=np.float64)
+    scale = np.sqrt((x * x).mean(axis=-1, keepdims=True) + eps)
+    return x / scale * np.asarray(weight)

@@ -1,0 +1,93 @@
+"""GEMM execution and roofline sweeps (Figures 4, 5, 7).
+
+The paper drives GEMMs through the PyTorch API on both platforms
+(Table 2), which resolves to cuBLAS on the A100 and to the graph
+compiler's MME configuration on Gaudi-2; :func:`run_gemm` is the model
+equivalent, dispatching to the device's matrix-engine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.hw.device import Device, MatmulResult
+from repro.hw.spec import DType
+
+#: Square GEMM sizes evaluated in Figures 4 and 5.
+SQUARE_SIZES: Sequence[int] = (256, 512, 1024, 2048, 4096, 8192, 16384)
+
+#: (M=K) sizes for the irregular GEMM sweep; N is fixed at 16
+#: ("triangle markers" in Figure 4).
+IRREGULAR_SIZES: Sequence[int] = (1024, 2048, 4096, 8192, 16384)
+IRREGULAR_N = 16
+
+
+@dataclass(frozen=True)
+class GemmPoint:
+    """One point of the GEMM roofline (Figure 4)."""
+
+    device: str
+    m: int
+    k: int
+    n: int
+    dtype: DType
+    time: float
+    achieved_tflops: float
+    utilization: float
+    operational_intensity: float
+    memory_bound: bool
+    config_label: str
+
+
+def operational_intensity(m: int, k: int, n: int, dtype: DType) -> float:
+    """FLOPs per byte of compulsory operand traffic."""
+    flops = 2.0 * m * k * n
+    compulsory = dtype.itemsize * (m * k + k * n + m * n)
+    return flops / compulsory
+
+
+def run_gemm(device: Device, m: int, k: int, n: int, dtype: DType = DType.BF16) -> GemmPoint:
+    """Execute one GEMM shape on a device model."""
+    result: MatmulResult = device.gemm(m, k, n, dtype)
+    return GemmPoint(
+        device=device.name,
+        m=m,
+        k=k,
+        n=n,
+        dtype=dtype,
+        time=result.time,
+        achieved_tflops=result.achieved_flops / 1e12,
+        utilization=result.utilization,
+        operational_intensity=operational_intensity(m, k, n, dtype),
+        memory_bound=result.memory_bound,
+        config_label=result.config_label,
+    )
+
+
+def sweep_square(
+    device: Device, sizes: Iterable[int] = SQUARE_SIZES, dtype: DType = DType.BF16
+) -> List[GemmPoint]:
+    """The square-shaped GEMM sweep of Figure 4 (square markers)."""
+    return [run_gemm(device, s, s, s, dtype) for s in sizes]
+
+
+def sweep_irregular(
+    device: Device,
+    sizes: Iterable[int] = IRREGULAR_SIZES,
+    n: int = IRREGULAR_N,
+    dtype: DType = DType.BF16,
+) -> List[GemmPoint]:
+    """The irregular (tall-skinny, N=16) GEMM sweep of Figure 4."""
+    return [run_gemm(device, s, s, n, dtype) for s in sizes]
+
+
+def utilization_grid(
+    device: Device, m_sizes: Sequence[int], n_sizes: Sequence[int], k: int,
+    dtype: DType = DType.BF16,
+) -> List[List[float]]:
+    """Compute-utilization heatmap over (M, N) with fixed K (Figures 5, 7(b))."""
+    return [
+        [run_gemm(device, m, k, n, dtype).utilization for n in n_sizes]
+        for m in m_sizes
+    ]

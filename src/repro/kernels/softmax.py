@@ -1,0 +1,29 @@
+"""Softmax cost model and functional semantics.
+
+Softmax is the canonical TPC (vector-engine) op sandwiched between the
+two attention GEMMs; its cost structure (max, exp, sum, divide: ~5
+vector ops per element over two passes) is what the MME/TPC pipeliner
+overlaps with the GEMMs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.spec import DeviceSpec, DType
+from repro.kernels.elementwise import ElementwiseCost, elementwise_cost
+
+
+def softmax_cost(
+    spec: DeviceSpec, num_elements: int, dtype: DType = DType.BF16
+) -> ElementwiseCost:
+    """Cost of a row-wise softmax over ``num_elements`` scores."""
+    return elementwise_cost(spec, num_elements, flops_per_element=5.0, dtype=dtype)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax (functional reference)."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)

@@ -1,0 +1,122 @@
+"""Model graphs for the graph compiler.
+
+:class:`~repro.models.llama.LlamaCostModel` walks operator costs
+directly; this module instead *builds the operator graph* of a decoder
+layer, so the graph compiler's passes (fusion, MME configuration,
+MME<->TPC pipelining) and the profiler can be exercised on a real model
+structure -- the PyTorch-level view of Figure 2(a) feeding the compiler
+of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Engine, Graph
+from repro.hw.device import Device
+from repro.kernels.attention import AttentionConfig, attention_time
+from repro.kernels.elementwise import activation_cost, layernorm_cost
+from repro.models.llama import LlamaConfig
+
+
+def _gemm_op(
+    graph: Graph,
+    device: Device,
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    dtype,
+    inputs,
+) -> object:
+    result = device.gemm(m, k, n, dtype)
+    itemsize = dtype.itemsize
+    op = graph.add_op(
+        name,
+        Engine.MME,
+        compute_time=result.flops / device.spec.matrix.peak(dtype),
+        input_bytes=float(itemsize) * (m * k + k * n),
+        output_bytes=float(itemsize) * m * n,
+        inputs=inputs,
+        sliceable=True,
+    )
+    op.annotations["gemm_shape"] = (1, m, k, n)
+    return op
+
+
+def _tpc_op(graph: Graph, name: str, cost, inputs, sliceable=True) -> object:
+    return graph.add_op(
+        name,
+        Engine.TPC,
+        compute_time=cost.compute_time,
+        input_bytes=cost.input_bytes,
+        output_bytes=cost.output_bytes,
+        inputs=inputs,
+        fusable=True,
+        sliceable=sliceable,
+    )
+
+
+def build_decoder_layer_graph(
+    config: LlamaConfig,
+    device: Device,
+    batch: int,
+    seq_len: int,
+) -> Graph:
+    """One prefill decoder layer as an operator graph.
+
+    The op list mirrors the PyTorch trace the graph compiler consumes:
+    norm -> QKV GEMM -> attention -> O-proj GEMM -> norm -> up/gate
+    GEMM -> activation -> down GEMM.
+    """
+    if batch <= 0 or seq_len <= 0:
+        raise ValueError("batch and seq_len must be positive")
+    spec = device.spec
+    dtype = config.dtype
+    tokens = batch * seq_len
+    hd = config.head_dim
+    graph = Graph(f"{config.name}-layer")
+
+    norm1 = _tpc_op(
+        graph, "input_norm",
+        layernorm_cost(spec, tokens * config.hidden_size, dtype), [],
+    )
+    qkv = _gemm_op(
+        graph, device, "qkv_proj",
+        tokens, config.hidden_size, (config.q_heads + 2 * config.kv_heads) * hd,
+        dtype, [norm1],
+    )
+    attn_cfg = AttentionConfig(
+        batch=batch, q_heads=config.q_heads, kv_heads=config.kv_heads,
+        head_dim=hd, seq_q=seq_len, seq_kv=seq_len, dtype=dtype,
+    )
+    attn = attention_time(device, attn_cfg)
+    attention = graph.add_op(
+        "attention",
+        Engine.MME,
+        compute_time=attn.compute_time,
+        input_bytes=attn_cfg.qo_bytes / 2 + attn_cfg.kv_bytes,
+        output_bytes=attn_cfg.qo_bytes / 2,
+        inputs=[qkv],
+        sliceable=True,
+    )
+    o_proj = _gemm_op(
+        graph, device, "o_proj",
+        tokens, config.q_heads * hd, config.hidden_size, dtype, [attention],
+    )
+    norm2 = _tpc_op(
+        graph, "post_attention_norm",
+        layernorm_cost(spec, tokens * config.hidden_size, dtype), [o_proj],
+    )
+    up_gate = _gemm_op(
+        graph, device, "up_gate_proj",
+        tokens, config.hidden_size, 2 * config.intermediate_size, dtype, [norm2],
+    )
+    act = _tpc_op(
+        graph, "silu_mul",
+        activation_cost(spec, tokens * config.intermediate_size, dtype), [up_gate],
+    )
+    _gemm_op(
+        graph, device, "down_proj",
+        tokens, config.intermediate_size, config.hidden_size, dtype, [act],
+    )
+    graph.validate()
+    return graph

@@ -1,0 +1,422 @@
+"""Llama-3.1 decoder cost models (Table 3; Figures 12, 13, 17).
+
+The model walks one decoder layer's operator list with the device's
+GEMM/attention/collective models and accumulates time and engine
+activity.  Prefill runs dense fused attention; decode runs either the
+serving backend's static KV-cache attention (the optimum-habana /
+TensorRT-LLM setup of Section 3.5) or one of the PagedAttention
+implementations (the vLLM setup of Section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.device import Device, Gaudi2Device
+from repro.hw.power import ActivityAccumulator, PowerModel
+from repro.hw.spec import DType
+from repro.kernels.attention import AttentionConfig, attention_time
+from repro.kernels.elementwise import activation_cost, layernorm_cost
+from repro.kernels.paged_attention import (
+    PagedAttentionConfig,
+    a100_paged_attention,
+    vllm_base_paged_attention,
+    vllm_opt_paged_attention,
+)
+from repro.models.tensor_parallel import TensorParallelConfig
+
+#: Per-layer dispatch overhead with CUDA Graphs / HPU Graphs enabled.
+_LAYER_DISPATCH = 1.5e-6
+
+#: Per-layer dispatch overhead in eager mode (per-op host launches).
+_LAYER_DISPATCH_EAGER = 45e-6
+
+
+class DecodeAttention(enum.Enum):
+    """Which decode-attention path the serving backend uses."""
+
+    STATIC = "static"          # contiguous KV cache (optimum-habana / TRT-LLM)
+    PAGED_BASE = "paged-base"  # Gaudi vLLM fork baseline (BlockTable)
+    PAGED_OPT = "paged-opt"    # optimized BlockList PagedAttention
+    PAGED_CUDA = "paged-cuda"  # vLLM's native CUDA kernel
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Decoder configuration (Table 3 of the paper)."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    intermediate_size: int
+    q_heads: int
+    kv_heads: int
+    vocab_size: int
+    dtype: DType = DType.BF16
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "num_layers", "hidden_size", "intermediate_size",
+            "q_heads", "kv_heads", "vocab_size",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.hidden_size % self.q_heads != 0:
+            raise ValueError("hidden_size must be divisible by q_heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.q_heads
+
+    @property
+    def num_parameters(self) -> float:
+        h, i, v = self.hidden_size, self.intermediate_size, self.vocab_size
+        qkv = h * (self.q_heads + 2 * self.kv_heads) * self.head_dim
+        o = h * h
+        mlp = 3 * h * i
+        per_layer = qkv + o + mlp + 2 * h
+        return self.num_layers * per_layer + 2 * v * h
+
+    @property
+    def weight_bytes(self) -> float:
+        return self.num_parameters * self.dtype.itemsize
+
+    def kv_bytes_per_token(self) -> int:
+        return 2 * self.kv_heads * self.head_dim * self.dtype.itemsize
+
+
+LLAMA_3_1_8B = LlamaConfig(
+    name="Llama-3.1-8B-Instruct",
+    num_layers=32,
+    hidden_size=4096,
+    intermediate_size=14336,
+    q_heads=32,
+    kv_heads=8,
+    vocab_size=128256,
+)
+
+LLAMA_3_1_70B = LlamaConfig(
+    name="Llama-3.1-70B-Instruct",
+    num_layers=80,
+    hidden_size=8192,
+    intermediate_size=28672,
+    q_heads=64,
+    kv_heads=8,
+    vocab_size=128256,
+)
+
+
+@dataclass(frozen=True)
+class PhaseEstimate:
+    """One phase (prefill, or a batch of decode steps)."""
+
+    time: float
+    activity: ActivityAccumulator
+
+    def merged(self, other: "PhaseEstimate") -> "PhaseEstimate":
+        acc = ActivityAccumulator()
+        acc.merge(self.activity)
+        acc.merge(other.activity)
+        return PhaseEstimate(time=self.time + other.time, activity=acc)
+
+
+@dataclass(frozen=True)
+class GenerationEstimate:
+    """End-to-end generation of ``output_len`` tokens for a batch."""
+
+    device: str
+    config_name: str
+    batch: int
+    input_len: int
+    output_len: int
+    prefill_time: float
+    decode_time: float
+    average_power: float
+
+    @property
+    def total_time(self) -> float:
+        return self.prefill_time + self.decode_time
+
+    @property
+    def total_tokens(self) -> int:
+        return self.batch * self.output_len
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.total_tokens / self.total_time if self.total_time > 0 else 0.0
+
+    @property
+    def energy_joules(self) -> float:
+        return self.average_power * self.total_time
+
+    @property
+    def tokens_per_joule(self) -> float:
+        return self.total_tokens / self.energy_joules if self.energy_joules > 0 else 0.0
+
+
+class LlamaCostModel:
+    """Per-phase cost model of one Llama configuration on one device."""
+
+    def __init__(
+        self,
+        config: LlamaConfig,
+        device: Device,
+        tp: Optional[TensorParallelConfig] = None,
+        use_graphs: bool = True,
+        static_bucket: int = 1,
+    ) -> None:
+        """``use_graphs`` models the CUDA Graphs / HPU Graphs tuning
+        knob of Section 3.5: captured graphs replay with a tiny
+        per-layer dispatch, eager mode pays per-op host launches.
+
+        ``static_bucket`` models optimum-habana's static-shape
+        bucketing: Gaudi's compiled graphs are shape-specialized, so
+        the static KV cache is padded up to the next multiple of the
+        bucket (1 = exact shapes, i.e. no bucketing cost).
+        """
+        if static_bucket < 1:
+            raise ValueError("static_bucket must be >= 1")
+        self.config = config
+        self.device = device
+        self.tp = tp or TensorParallelConfig(degree=1)
+        self.use_graphs = use_graphs
+        self.static_bucket = static_bucket
+        self.tp.shard(config.q_heads, "q_heads")
+        if self.tp.degree > 1:
+            self.tp.shard(config.kv_heads, "kv_heads")
+
+    @property
+    def _layer_dispatch(self) -> float:
+        return _LAYER_DISPATCH if self.use_graphs else _LAYER_DISPATCH_EAGER
+
+    # -- helpers ---------------------------------------------------------
+    def _gemm(
+        self, acc: ActivityAccumulator, m: int, k: int, n: int
+    ) -> float:
+        result = self.device.gemm(m, k, n, self.config.dtype)
+        peak = self.device.peak_matrix_flops
+        dtype_peak = self.device.spec.matrix.peak(self.config.dtype)
+        acc.add_matrix(result.flops / dtype_peak, result.active_mac_fraction)
+        itemsize = self.config.dtype.itemsize
+        traffic = itemsize * (k * n + m * k + m * n)
+        acc.add_memory(traffic / self.device.peak_bandwidth)
+        del peak
+        return result.time
+
+    def _allreduce(self, acc: ActivityAccumulator, size_bytes: float) -> float:
+        time = self.tp.allreduce_time(size_bytes)
+        acc.add_comm(time)
+        return time
+
+    def _elementwise(self, acc: ActivityAccumulator, cost) -> float:
+        stream_bw = (
+            self.device.spec.memory.bandwidth
+            * self.device.spec.memory.stream_efficiency
+        )
+        time = max(cost.compute_time, (cost.input_bytes + cost.output_bytes) / stream_bw)
+        acc.add_vector(cost.compute_time)
+        acc.add_memory(
+            (cost.input_bytes + cost.output_bytes) / self.device.peak_bandwidth
+        )
+        return time
+
+    # -- phases ----------------------------------------------------------
+    def prefill(self, batch: int, seq_len: int) -> PhaseEstimate:
+        """Process the whole prompt; produces the first token."""
+        if batch <= 0 or seq_len <= 0:
+            raise ValueError("batch and seq_len must be positive")
+        cfg, tp = self.config, self.tp
+        acc = ActivityAccumulator()
+        tokens = batch * seq_len
+        hd = cfg.head_dim
+        time = 0.0
+        # one decoder layer
+        time += self._elementwise(acc, layernorm_cost(self.device.spec, tokens * cfg.hidden_size, cfg.dtype))
+        qkv_n = tp.shard((cfg.q_heads + 2 * cfg.kv_heads) * hd, "qkv width")
+        time += self._gemm(acc, tokens, cfg.hidden_size, qkv_n)
+        attn = attention_time(
+            self.device,
+            AttentionConfig(
+                batch=batch,
+                q_heads=cfg.q_heads // tp.degree,
+                kv_heads=max(1, cfg.kv_heads // tp.degree),
+                head_dim=hd,
+                seq_q=seq_len,
+                seq_kv=seq_len,
+                dtype=cfg.dtype,
+            ),
+        )
+        time += attn.time
+        acc.add_matrix(
+            min(attn.compute_time, attn.time), 1.0
+        )
+        acc.add_memory(min(attn.memory_time, attn.time))
+        time += self._gemm(acc, tokens, tp.shard(cfg.q_heads * hd, "o-proj"), cfg.hidden_size)
+        time += self._allreduce(acc, tokens * cfg.hidden_size * cfg.dtype.itemsize)
+        time += self._elementwise(acc, layernorm_cost(self.device.spec, tokens * cfg.hidden_size, cfg.dtype))
+        time += self._gemm(acc, tokens, cfg.hidden_size, tp.shard(2 * cfg.intermediate_size, "mlp up"))
+        time += self._elementwise(acc, activation_cost(self.device.spec, tokens * cfg.intermediate_size // tp.degree, cfg.dtype))
+        time += self._gemm(acc, tokens, tp.shard(cfg.intermediate_size, "mlp down"), cfg.hidden_size)
+        time += self._allreduce(acc, tokens * cfg.hidden_size * cfg.dtype.itemsize)
+        time += self._layer_dispatch
+        time *= cfg.num_layers
+        _scale_activity(acc, cfg.num_layers)
+        # LM head for the first token only.
+        time += self._gemm(acc, batch, cfg.hidden_size, tp.shard(cfg.vocab_size, "lm head"))
+        return PhaseEstimate(time=time, activity=acc)
+
+    def decode_step(
+        self,
+        batch: int,
+        context_len,
+        attention: DecodeAttention = DecodeAttention.STATIC,
+    ) -> PhaseEstimate:
+        """Generate one token per request.
+
+        ``context_len`` is either a single KV length shared by the batch
+        or a per-request sequence of lengths (continuous batching).
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        context_lens = (
+            [int(context_len)] * batch
+            if isinstance(context_len, (int, float))
+            else [int(c) for c in context_len]
+        )
+        if len(context_lens) != batch:
+            raise ValueError("context_len sequence must match batch size")
+        if any(c <= 0 for c in context_lens):
+            raise ValueError("context lengths must be positive")
+        cfg, tp = self.config, self.tp
+        acc = ActivityAccumulator()
+        hd = cfg.head_dim
+        time = 0.0
+        time += self._elementwise(acc, layernorm_cost(self.device.spec, batch * cfg.hidden_size, cfg.dtype))
+        time += self._gemm(acc, batch, cfg.hidden_size, tp.shard((cfg.q_heads + 2 * cfg.kv_heads) * hd, "qkv"))
+        time += self._decode_attention(acc, context_lens, attention)
+        time += self._gemm(acc, batch, tp.shard(cfg.q_heads * hd, "o-proj"), cfg.hidden_size)
+        time += self._allreduce(acc, batch * cfg.hidden_size * cfg.dtype.itemsize)
+        time += self._elementwise(acc, layernorm_cost(self.device.spec, batch * cfg.hidden_size, cfg.dtype))
+        time += self._gemm(acc, batch, cfg.hidden_size, tp.shard(2 * cfg.intermediate_size, "mlp up"))
+        time += self._elementwise(acc, activation_cost(self.device.spec, batch * cfg.intermediate_size // tp.degree, cfg.dtype))
+        time += self._gemm(acc, batch, tp.shard(cfg.intermediate_size, "mlp down"), cfg.hidden_size)
+        time += self._allreduce(acc, batch * cfg.hidden_size * cfg.dtype.itemsize)
+        time += self._layer_dispatch
+        time *= cfg.num_layers
+        _scale_activity(acc, cfg.num_layers)
+        time += self._gemm(acc, batch, cfg.hidden_size, tp.shard(cfg.vocab_size, "lm head"))
+        return PhaseEstimate(time=time, activity=acc)
+
+    def _decode_attention(
+        self,
+        acc: ActivityAccumulator,
+        context_lens,
+        attention: DecodeAttention,
+    ) -> float:
+        cfg, tp = self.config, self.tp
+        batch = len(context_lens)
+        kv_heads = max(1, cfg.kv_heads // tp.degree)
+        q_heads = cfg.q_heads // tp.degree
+        if attention is DecodeAttention.STATIC:
+            # Static bucketed KV cache: padded to the longest context,
+            # then up to the shape bucket the compiled graph was built
+            # for (optimum-habana's bucketing).
+            padded_len = max(context_lens)
+            bucket = self.static_bucket
+            padded_len = ((padded_len + bucket - 1) // bucket) * bucket
+            kv_bytes = (
+                2.0 * batch * kv_heads * cfg.head_dim * padded_len
+                * cfg.dtype.itemsize
+            )
+            stream_bw = (
+                self.device.spec.memory.bandwidth
+                * self.device.spec.memory.stream_efficiency
+            )
+            time = kv_bytes / stream_bw
+            acc.add_memory(kv_bytes / self.device.peak_bandwidth)
+            flops = 4.0 * batch * q_heads * padded_len * cfg.head_dim
+            acc.add_matrix(flops / self.device.spec.matrix.peak(cfg.dtype), 0.5)
+            return time
+        paged = PagedAttentionConfig(
+            batch=batch,
+            seq_lens=list(context_lens),
+            q_heads=q_heads,
+            kv_heads=kv_heads,
+            head_dim=cfg.head_dim,
+            dtype=cfg.dtype,
+        )
+        if attention is DecodeAttention.PAGED_BASE:
+            result = vllm_base_paged_attention(paged, self.device.spec)
+        elif attention is DecodeAttention.PAGED_OPT:
+            result = vllm_opt_paged_attention(paged, self.device.spec)
+        elif attention is DecodeAttention.PAGED_CUDA:
+            result = a100_paged_attention(paged, self.device.spec)
+        else:
+            raise ValueError(f"unknown decode attention {attention!r}")
+        acc.add_memory(paged.kv_bytes / self.device.peak_bandwidth)
+        acc.add_vector(min(result.gather_time, result.time))
+        return result.time
+
+    # -- end-to-end --------------------------------------------------------
+    def generate(
+        self,
+        batch: int,
+        input_len: int,
+        output_len: int,
+        attention: DecodeAttention = DecodeAttention.STATIC,
+        decode_samples: int = 8,
+    ) -> GenerationEstimate:
+        """Fixed-length generation (the Section 3.5 serving setup)."""
+        if output_len <= 0 or decode_samples <= 0:
+            raise ValueError("output_len and decode_samples must be positive")
+        prefill = self.prefill(batch, input_len)
+        # Sample decode steps across the growing context and integrate.
+        acc = ActivityAccumulator()
+        acc.merge(prefill.activity)
+        decode_time = 0.0
+        samples = min(decode_samples, output_len)
+        step_span = output_len / samples
+        for i in range(samples):
+            ctx = input_len + int((i + 0.5) * step_span)
+            step = self.decode_step(batch, ctx, attention)
+            decode_time += step.time * step_span
+            _merge_scaled(acc, step.activity, step_span)
+        total = prefill.time + decode_time
+        profile = acc.profile(total)
+        power = PowerModel(self.device.spec.power).power(profile)
+        return GenerationEstimate(
+            device=self.device.name,
+            config_name=self.config.name,
+            batch=batch,
+            input_len=input_len,
+            output_len=output_len,
+            prefill_time=prefill.time,
+            decode_time=decode_time,
+            average_power=power,
+        )
+
+    # -- capacity ----------------------------------------------------------
+    def max_kv_tokens(self) -> int:
+        """KV-cache token capacity after weights (per TP shard)."""
+        capacity = self.device.spec.memory.capacity_bytes * 0.92
+        weights = self.config.weight_bytes / self.tp.degree
+        free = capacity - weights
+        per_token = self.config.kv_bytes_per_token() * self.config.num_layers / self.tp.degree
+        return max(0, int(free / per_token))
+
+
+def _scale_activity(acc: ActivityAccumulator, factor: float) -> None:
+    acc.matrix_seconds *= factor
+    acc.matrix_active_weighted *= factor
+    acc.vector_seconds *= factor
+    acc.memory_seconds *= factor
+
+
+def _merge_scaled(acc: ActivityAccumulator, other: ActivityAccumulator, factor: float) -> None:
+    acc.matrix_seconds += other.matrix_seconds * factor
+    acc.matrix_active_weighted += other.matrix_active_weighted * factor
+    acc.vector_seconds += other.vector_seconds * factor
+    acc.memory_seconds += other.memory_seconds * factor

@@ -1,0 +1,54 @@
+"""Tensor parallelism (Megatron-style) over the modelled fabrics.
+
+Column/row-parallel sharding of the attention and MLP blocks induces
+two AllReduces of the activation tensor per decoder layer, which is
+where the interconnect contrast of Section 3.4 reaches end-to-end LLM
+serving: the P2P mesh's AllReduce bandwidth grows with the number of
+participating devices, so Gaudi's multi-device speedups *increase*
+with TP degree (Figure 12(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.comm import CollectiveLibrary, HcclLibrary, NcclLibrary
+from repro.hw.device import A100Device, Device, Gaudi2Device
+
+
+@dataclass
+class TensorParallelConfig:
+    """TP degree plus the collective library serving it."""
+
+    degree: int = 1
+    library: Optional[CollectiveLibrary] = None
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError("TP degree must be >= 1")
+
+    @classmethod
+    def for_device(cls, device: Device, degree: int) -> "TensorParallelConfig":
+        if degree == 1:
+            return cls(degree=1, library=None)
+        if isinstance(device, Gaudi2Device):
+            return cls(degree=degree, library=HcclLibrary())
+        if isinstance(device, A100Device):
+            return cls(degree=degree, library=NcclLibrary())
+        raise TypeError(f"unsupported device {device!r}")
+
+    def shard(self, size: int, what: str = "dimension") -> int:
+        """Split a sharded dimension, validating divisibility."""
+        if size % self.degree != 0:
+            raise ValueError(
+                f"{what} of {size} not divisible by TP degree {self.degree}"
+            )
+        return size // self.degree
+
+    def allreduce_time(self, size_bytes: float) -> float:
+        """One activation AllReduce across the TP group."""
+        if self.degree == 1:
+            return 0.0
+        assert self.library is not None
+        return self.library.all_reduce(size_bytes, self.degree).time

@@ -1,0 +1,141 @@
+"""TorchRec-style multi-device RecSys serving (A100 only).
+
+Section 3.5: "Because Intel Gaudi SDK currently lacks support for
+multi-device RecSys serving (a feature that is natively supported in
+TorchRec for serving RecSys over multi-GPUs), we focus on single-device
+RecSys serving for Gaudi-2."  This module implements exactly that
+asymmetry:
+
+* :class:`TorchRecShardedDlrm` -- TorchRec's model-parallel recipe on
+  the DGX A100: embedding tables are table-wise sharded across GPUs,
+  each GPU looks up its local tables for the *whole* batch, and an
+  AlltoAll over NVSwitch redistributes the pooled embeddings to the
+  batch-sharded data-parallel MLPs.
+* :func:`gaudi_multi_device_recsys` -- raises
+  :class:`MultiDeviceUnsupportedError`, documenting the software gap
+  the paper reports (and tests assert).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.comm import NcclLibrary
+from repro.hw.device import A100Device, Device, Gaudi2Device
+from repro.hw.power import ActivityAccumulator, PowerModel
+from repro.models.dlrm import DlrmConfig, DlrmCostModel
+
+
+class MultiDeviceUnsupportedError(NotImplementedError):
+    """The Gaudi SDK has no TorchRec equivalent (Section 3.5)."""
+
+
+def gaudi_multi_device_recsys(config: DlrmConfig, num_devices: int):
+    """Multi-device RecSys on Gaudi: not supported, as in the paper."""
+    raise MultiDeviceUnsupportedError(
+        f"multi-device RecSys serving of {config.name} over {num_devices} "
+        "Gaudi-2 devices is unsupported: the Gaudi SDK provides no "
+        "TorchRec backend (Section 3.5 of the paper); serve on a single "
+        "device instead"
+    )
+
+
+@dataclass(frozen=True)
+class ShardedForwardEstimate:
+    """One multi-GPU DLRM forward pass."""
+
+    device: str
+    config_name: str
+    num_devices: int
+    global_batch: int
+    time: float
+    breakdown: Dict[str, float]
+    average_power_per_device: float
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.global_batch / self.time if self.time > 0 else 0.0
+
+    @property
+    def node_energy_joules(self) -> float:
+        return self.average_power_per_device * self.num_devices * self.time
+
+
+class TorchRecShardedDlrm:
+    """Table-wise sharded DLRM over a DGX A100 node."""
+
+    def __init__(self, config: DlrmConfig, device: Device, num_devices: int) -> None:
+        if isinstance(device, Gaudi2Device):
+            gaudi_multi_device_recsys(config, num_devices)
+        if not isinstance(device, A100Device):
+            raise TypeError(f"unsupported device {device!r}")
+        if not 2 <= num_devices <= 8:
+            raise ValueError("num_devices must be in [2, 8] for one DGX node")
+        self.config = config
+        self.device = device
+        self.num_devices = num_devices
+        self.nccl = NcclLibrary()
+        # Per-device view: a slice of the tables, the full batch.
+        self.local_tables = math.ceil(config.num_tables / num_devices)
+
+    def forward(self, global_batch: int) -> ShardedForwardEstimate:
+        """One inference over ``global_batch`` samples across the node."""
+        if global_batch < self.num_devices:
+            raise ValueError("global_batch must cover every device")
+        config = self.config
+        acc = ActivityAccumulator()
+        breakdown: Dict[str, float] = {}
+
+        # Phase 1 (model parallel): every device gathers its local
+        # tables for the FULL batch.
+        local_config = DlrmConfig(
+            name=config.name,
+            num_tables=self.local_tables,
+            rows_per_table=config.rows_per_table,
+            embedding_dim=config.embedding_dim,
+            pooling=config.pooling,
+            dense_features=config.dense_features,
+            bottom_mlp=config.bottom_mlp,
+            top_mlp=config.top_mlp,
+            cross_low_rank=config.cross_low_rank,
+            cross_layers=config.cross_layers,
+        )
+        local_model = DlrmCostModel(local_config, self.device)
+        breakdown["sharded_embedding"] = local_model.embedding_time(global_batch, acc)
+
+        # Phase 2: AlltoAll of pooled embeddings (each device keeps the
+        # rows of its batch shard for all tables).
+        pooled_bytes = (
+            global_batch
+            * self.local_tables
+            * config.embedding_dim
+            * config.dtype.itemsize
+        )
+        alltoall = self.nccl.all_to_all(pooled_bytes, self.num_devices)
+        breakdown["alltoall"] = alltoall.time
+        acc.add_comm(alltoall.time)
+
+        # Phase 3 (data parallel): MLPs + interaction on the batch shard.
+        local_batch = global_batch // self.num_devices
+        dense_model = DlrmCostModel(config, self.device)
+        breakdown["bottom_mlp"] = dense_model._mlp(
+            acc, local_batch, config.dense_features, config.bottom_mlp
+        )
+        breakdown["interaction"] = dense_model.interaction_time(local_batch, acc)
+        breakdown["top_mlp"] = dense_model._mlp(
+            acc, local_batch, config.interaction_width, config.top_mlp
+        )
+
+        total = sum(breakdown.values())
+        power = PowerModel(self.device.spec.power).power(acc.profile(total))
+        return ShardedForwardEstimate(
+            device=self.device.name,
+            config_name=config.name,
+            num_devices=self.num_devices,
+            global_batch=global_batch,
+            time=total,
+            breakdown=dict(breakdown),
+            average_power_per_device=power,
+        )

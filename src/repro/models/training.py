@@ -1,0 +1,157 @@
+"""LLM training cost model (the paper's stated future work).
+
+Section 5: "Intel claims that Gaudi NPUs are competitive to NVIDIA
+GPUs for training large-scale AI models ... Analyzing Gaudi's
+competitive edge against NVIDIA GPUs in training scenarios is part of
+our immediate future work."  This module supplies that analysis over
+the same device models:
+
+* forward pass = the serving prefill walk;
+* backward pass = 2x the forward matrix work (dgrad + wgrad GEMMs)
+  plus the re-read of activations;
+* optimizer step = a memory-bound pass over weights, gradients, and
+  Adam state (16 bytes/param in mixed precision);
+* data-parallel gradient AllReduce over the node fabric -- where the
+  Section 3.4 interconnect contrast shows up at full 8-device scale,
+  the regime the P2P mesh is strongest in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.device import Device
+from repro.hw.power import ActivityAccumulator, PowerModel
+from repro.models.llama import LlamaConfig, LlamaCostModel, _merge_scaled
+from repro.models.tensor_parallel import TensorParallelConfig
+
+#: Bytes of optimizer + master state per parameter (Adam, mixed
+#: precision: fp32 master + two fp32 moments + bf16 grad).
+_OPTIMIZER_BYTES_PER_PARAM = 18
+
+#: Fraction of forward matrix work the backward pass adds (dgrad +
+#: wgrad each replay the forward GEMMs once).
+_BACKWARD_FLOP_MULTIPLIER = 2.0
+
+
+@dataclass(frozen=True)
+class TrainingStepEstimate:
+    """One optimizer step over a global batch."""
+
+    device: str
+    config_name: str
+    data_parallel: int
+    global_batch: int
+    seq_len: int
+    forward_time: float
+    backward_time: float
+    optimizer_time: float
+    gradient_allreduce_time: float
+    average_power: float
+
+    @property
+    def step_time(self) -> float:
+        return (
+            self.forward_time
+            + self.backward_time
+            + self.optimizer_time
+            + self.gradient_allreduce_time
+        )
+
+    @property
+    def tokens_per_second(self) -> float:
+        tokens = self.global_batch * self.seq_len
+        return tokens / self.step_time if self.step_time > 0 else 0.0
+
+    #: 6 x params x tokens, the conventional training-flops estimate.
+    model_flops: float = 0.0
+    #: Matrix-engine peak of one device for the training dtype.
+    device_peak_flops: float = 1.0
+
+    @property
+    def model_flops_utilization(self) -> float:
+        """MFU: achieved fraction of aggregate matrix peak."""
+        aggregate_peak = self.device_peak_flops * self.data_parallel
+        return self.model_flops / (self.step_time * aggregate_peak)
+
+    @property
+    def energy_per_token(self) -> float:
+        tokens = self.global_batch * self.seq_len
+        if tokens == 0:
+            return 0.0
+        return self.average_power * self.data_parallel * self.step_time / tokens
+
+
+class LlamaTrainingCostModel:
+    """Training-step costs for one Llama configuration."""
+
+    def __init__(
+        self,
+        config: LlamaConfig,
+        device: Device,
+        data_parallel: int = 8,
+        tp: Optional[TensorParallelConfig] = None,
+    ) -> None:
+        if data_parallel < 1:
+            raise ValueError("data_parallel must be >= 1")
+        self.config = config
+        self.device = device
+        self.data_parallel = data_parallel
+        self.tp = tp or TensorParallelConfig(degree=1)
+        self.serving_model = LlamaCostModel(config, device, self.tp)
+        # The gradient AllReduce runs over the same fabric TP does.
+        self.comm = TensorParallelConfig.for_device(device, max(2, data_parallel))
+
+    def step(self, global_batch: int, seq_len: int) -> TrainingStepEstimate:
+        """One synchronous data-parallel training step."""
+        if global_batch < self.data_parallel:
+            raise ValueError("global_batch must cover all data-parallel ranks")
+        local_batch = global_batch // self.data_parallel
+        acc = ActivityAccumulator()
+
+        forward = self.serving_model.prefill(local_batch, seq_len)
+        acc.merge(forward.activity)
+        forward_time = forward.time
+
+        # Backward: dgrad + wgrad replay the forward GEMM work, plus the
+        # activation re-reads (captured by scaling the forward phase).
+        backward_time = _BACKWARD_FLOP_MULTIPLIER * forward.time
+        _merge_scaled(acc, forward.activity, _BACKWARD_FLOP_MULTIPLIER)
+
+        # Optimizer: stream weights + grads + Adam state once.
+        shard = self.config.num_parameters / self.tp.degree
+        optimizer_bytes = shard * _OPTIMIZER_BYTES_PER_PARAM
+        stream_bw = (
+            self.device.spec.memory.bandwidth
+            * self.device.spec.memory.stream_efficiency
+        )
+        optimizer_time = optimizer_bytes / stream_bw
+        acc.add_memory(optimizer_bytes / self.device.peak_bandwidth)
+
+        # Data-parallel gradient AllReduce (bf16 grads).
+        allreduce_time = 0.0
+        if self.data_parallel > 1:
+            grad_bytes = shard * self.config.dtype.itemsize
+            assert self.comm.library is not None
+            allreduce_time = self.comm.library.all_reduce(
+                grad_bytes, self.data_parallel
+            ).time
+            acc.add_comm(allreduce_time)
+
+        total = forward_time + backward_time + optimizer_time + allreduce_time
+        power = PowerModel(self.device.spec.power).power(acc.profile(total))
+        return TrainingStepEstimate(
+            device=self.device.name,
+            config_name=self.config.name,
+            data_parallel=self.data_parallel,
+            global_batch=global_batch,
+            seq_len=seq_len,
+            forward_time=forward_time,
+            backward_time=backward_time,
+            optimizer_time=optimizer_time,
+            gradient_allreduce_time=allreduce_time,
+            average_power=power,
+            model_flops=6.0 * self.config.num_parameters * global_batch * seq_len,
+            device_peak_flops=self.device.spec.matrix.peak(self.config.dtype),
+        )

@@ -1,0 +1,52 @@
+"""LLM and RecSys serving stack (the vLLM analog of Section 4.2).
+
+* :mod:`repro.serving.request` -- request lifecycle and per-request
+  latency metrics (TTFT, TPOT).
+* :mod:`repro.serving.dataset` -- synthetic request generators: the
+  fixed-length sweeps of Section 3.5 and a Dynamic-Sonnet-like
+  variable-length dataset for Figure 17(d, e).
+* :mod:`repro.serving.kv_cache` -- the paged KV-cache block manager
+  (PagedAttention's memory side).
+* :mod:`repro.serving.block_table` -- 2-D zero-padded BlockTable vs
+  flat BlockList construction (Figure 16).
+* :mod:`repro.serving.scheduler` -- continuous-batching scheduler with
+  a maximum decode batch size (the Figure 17(d, e) sweep knob).
+* :mod:`repro.serving.engine` -- the step-driven serving engine over a
+  :class:`~repro.models.llama.LlamaCostModel`.
+* :mod:`repro.serving.recsys` -- single-device RecSys serving over a
+  :class:`~repro.models.dlrm.DlrmCostModel`.
+"""
+
+from repro.serving.capacity import CapacityReport, compare_capacity
+from repro.serving.dataset import dynamic_sonnet_requests, fixed_length_requests
+from repro.serving.engine import LlmServingEngine, ServingReport
+from repro.serving.loadgen import (
+    LoadTestReport,
+    max_sustainable_rate,
+    poisson_arrivals,
+    run_load_test,
+)
+from repro.serving.kv_cache import BlockManager, KvCacheError
+from repro.serving.recsys import RecSysServer, RecSysReport
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler
+
+__all__ = [
+    "BlockManager",
+    "CapacityReport",
+    "LoadTestReport",
+    "compare_capacity",
+    "max_sustainable_rate",
+    "poisson_arrivals",
+    "run_load_test",
+    "ContinuousBatchingScheduler",
+    "KvCacheError",
+    "LlmServingEngine",
+    "RecSysReport",
+    "RecSysServer",
+    "Request",
+    "RequestState",
+    "ServingReport",
+    "dynamic_sonnet_requests",
+    "fixed_length_requests",
+]

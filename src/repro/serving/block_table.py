@@ -1,0 +1,80 @@
+"""BlockTable vs BlockList construction (Figure 16).
+
+Given the per-request block lists from the
+:class:`~repro.serving.kv_cache.BlockManager`, the baseline engine
+builds a 2-D ``BlockTable`` padded with zeros to the longest request,
+while the optimized engine concatenates only the *effectual* indices
+into a flat ``BlockList``.  The padding fraction of the BlockTable is
+exactly the redundant-gather fraction swept in Figure 17(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BlockTable:
+    """The baseline's zero-padded 2-D table."""
+
+    table: np.ndarray           # [batch, max_blocks], int
+    valid_counts: np.ndarray    # [batch]
+
+    @property
+    def total_entries(self) -> int:
+        return int(self.table.size)
+
+    @property
+    def effectual_entries(self) -> int:
+        return int(self.valid_counts.sum())
+
+    @property
+    def padding_fraction(self) -> float:
+        total = self.total_entries
+        return 1.0 - self.effectual_entries / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class BlockList:
+    """The optimized flat list of effectual block indices."""
+
+    blocks: np.ndarray          # [sum(valid_counts)]
+    request_offsets: np.ndarray  # [batch + 1] prefix offsets
+
+    @property
+    def total_entries(self) -> int:
+        return int(self.blocks.size)
+
+
+def build_block_table(per_request_blocks: Sequence[Sequence[int]]) -> BlockTable:
+    """Pad per-request block lists into the 2-D BlockTable."""
+    if not per_request_blocks:
+        raise ValueError("need at least one request")
+    counts = np.array([len(b) for b in per_request_blocks], dtype=np.int64)
+    if (counts == 0).any():
+        raise ValueError("every request needs at least one block")
+    width = int(counts.max())
+    table = np.zeros((len(per_request_blocks), width), dtype=np.int64)
+    for row, blocks in enumerate(per_request_blocks):
+        table[row, : len(blocks)] = blocks
+    return BlockTable(table=table, valid_counts=counts)
+
+
+def build_block_list(per_request_blocks: Sequence[Sequence[int]]) -> BlockList:
+    """Concatenate effectual indices into the flat BlockList."""
+    if not per_request_blocks:
+        raise ValueError("need at least one request")
+    if any(len(b) == 0 for b in per_request_blocks):
+        raise ValueError("every request needs at least one block")
+    flat: List[int] = []
+    offsets = [0]
+    for blocks in per_request_blocks:
+        flat.extend(blocks)
+        offsets.append(len(flat))
+    return BlockList(
+        blocks=np.asarray(flat, dtype=np.int64),
+        request_offsets=np.asarray(offsets, dtype=np.int64),
+    )

@@ -1,0 +1,165 @@
+"""Step-driven LLM serving engine (the vLLM analog).
+
+The engine advances a virtual clock: each iteration admits requests
+through the continuous-batching scheduler, charges a prefill phase for
+newly admitted prompts, then one decode step for the whole running
+batch, using the bound :class:`~repro.models.llama.LlamaCostModel` and
+the selected decode-attention implementation.  TTFT and TPOT fall out
+of the per-request timestamps, which is how Figure 17(d, e) is
+regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hw.power import ActivityAccumulator, PowerModel
+from repro.models.llama import DecodeAttention, LlamaCostModel
+from repro.serving.kv_cache import BlockManager, KvCacheError
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler
+
+#: Default KV block size in tokens (matches the paged-attention kernel).
+DEFAULT_BLOCK_SIZE = 128
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate metrics of one serving run."""
+
+    device: str
+    attention: str
+    num_requests: int
+    max_decode_batch: int
+    total_time: float
+    total_output_tokens: int
+    mean_ttft: float
+    mean_tpot: float
+    average_power: float
+    engine_steps: int
+    preemptions: int
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return self.total_output_tokens / self.total_time if self.total_time > 0 else 0.0
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.num_requests / self.total_time if self.total_time > 0 else 0.0
+
+    @property
+    def energy_per_token(self) -> float:
+        if self.total_output_tokens == 0:
+            return 0.0
+        return self.average_power * self.total_time / self.total_output_tokens
+
+
+class LlmServingEngine:
+    """Serves batches of requests over a Llama cost model."""
+
+    def __init__(
+        self,
+        model: LlamaCostModel,
+        attention: DecodeAttention = DecodeAttention.PAGED_OPT,
+        max_decode_batch: int = 64,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        num_kv_blocks: Optional[int] = None,
+    ) -> None:
+        self.model = model
+        self.attention = attention
+        if num_kv_blocks is None:
+            capacity_tokens = model.max_kv_tokens()
+            num_kv_blocks = max(1, capacity_tokens // block_size)
+        self.block_manager = BlockManager(num_kv_blocks, block_size)
+        self.scheduler = ContinuousBatchingScheduler(self.block_manager, max_decode_batch)
+        self.max_decode_batch = max_decode_batch
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> ServingReport:
+        """Serve ``requests`` to completion; returns aggregate metrics."""
+        if not requests:
+            raise ValueError("need at least one request")
+        for request in requests:
+            self.scheduler.submit(request)
+
+        now = 0.0
+        steps = 0
+        preemptions = 0
+        activity = ActivityAccumulator()
+        while self.scheduler.has_unfinished:
+            schedule = self.scheduler.step(now)
+            if not schedule.has_work:
+                if not self.scheduler.waiting:
+                    break  # everything retired in this step
+                head = min(self.scheduler.waiting, key=lambda r: r.arrival_time)
+                if head.arrival_time <= now:
+                    # Nothing runs, nothing admits, and the head request
+                    # has already arrived: the pool can never serve it.
+                    raise KvCacheError(
+                        f"request {head.request_id} cannot be admitted: "
+                        f"{head.input_tokens} prompt tokens exceed the free "
+                        "KV pool with no running request to retire"
+                    )
+                # All remaining requests arrive later; jump the clock.
+                now = max(now, head.arrival_time)
+                continue
+            for request in schedule.new_requests:
+                # vLLM prefills prompts individually (no padding waste).
+                phase = self.model.prefill(1, request.input_tokens)
+                now += phase.time
+                activity.merge(phase.activity)
+                request.record_token(now)
+            running = [r for r in schedule.running if r.state is RequestState.RUNNING]
+            if not running:
+                steps += 1
+                continue
+            preemptions += self._ensure_headroom(running)
+            running = [r for r in running if r.state is RequestState.RUNNING]
+            if not running:
+                steps += 1
+                continue
+            phase = self.model.decode_step(
+                len(running), [r.context_len for r in running], self.attention
+            )
+            now += phase.time
+            activity.merge(phase.activity)
+            for request in running:
+                self.block_manager.append_token(request.request_id)
+                request.record_token(now)
+            steps += 1
+
+        finished = list(requests)
+        mean_ttft = sum(r.ttft for r in finished) / len(finished)
+        mean_tpot = sum(r.tpot for r in finished) / len(finished)
+        total_tokens = sum(r.output_tokens for r in finished)
+        profile = activity.profile(now)
+        power = PowerModel(self.model.device.spec.power).power(profile)
+        return ServingReport(
+            device=self.model.device.name,
+            attention=self.attention.value,
+            num_requests=len(finished),
+            max_decode_batch=self.max_decode_batch,
+            total_time=now,
+            total_output_tokens=total_tokens,
+            mean_ttft=mean_ttft,
+            mean_tpot=mean_tpot,
+            average_power=power,
+            engine_steps=steps,
+            preemptions=preemptions,
+        )
+
+    # ------------------------------------------------------------------
+    def _ensure_headroom(self, running: List[Request]) -> int:
+        """Preempt newest requests until every runner can grow a block."""
+        preempted = 0
+        while self.block_manager.free_blocks < len(running) and len(running) > 1:
+            victim = running.pop()
+            self.block_manager.free(victim.request_id)
+            self.scheduler.running.remove(victim)
+            victim.state = RequestState.WAITING
+            victim.generated = 0
+            victim.first_token_time = None
+            self.scheduler.waiting.insert(0, victim)
+            preempted += 1
+        return preempted

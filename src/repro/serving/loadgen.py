@@ -1,0 +1,96 @@
+"""Open-loop load generation and sustainable-throughput search.
+
+The paper's Figure 17(d, e) sweeps the engine's batch-size knob under a
+backlog; production serving instead sees an *arrival process*.  This
+module adds the standard open-loop methodology on top of the engine:
+Poisson arrivals at a target request rate, latency percentiles under
+load, and a bisection search for the maximum sustainable rate (the
+knee of the latency curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.metrics import percentile
+from repro.serving.engine import LlmServingEngine, ServingReport
+from repro.serving.request import Request
+
+
+@dataclass(frozen=True)
+class LoadTestReport:
+    """One open-loop load point."""
+
+    offered_rate: float          # requests/s offered
+    achieved_rate: float         # requests/s completed
+    mean_ttft: float
+    p99_ttft: float
+    mean_tpot: float
+    saturated: bool              # completions lag arrivals
+
+    @property
+    def goodput_fraction(self) -> float:
+        return self.achieved_rate / self.offered_rate if self.offered_rate else 0.0
+
+
+def poisson_arrivals(
+    requests: Sequence[Request], rate: float, seed: int = 0
+) -> List[Request]:
+    """Assign Poisson arrival times (rate in requests/s), in place."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=len(requests))
+    clock = 0.0
+    for request, gap in zip(requests, gaps):
+        clock += float(gap)
+        request.arrival_time = clock
+    return list(requests)
+
+
+def run_load_test(
+    engine_factory: Callable[[], LlmServingEngine],
+    request_factory: Callable[[], List[Request]],
+    offered_rate: float,
+    seed: int = 0,
+) -> LoadTestReport:
+    """Serve one Poisson-arrival workload at ``offered_rate``."""
+    requests = poisson_arrivals(request_factory(), offered_rate, seed)
+    engine = engine_factory()
+    report: ServingReport = engine.run(requests)
+    last_arrival = max(r.arrival_time for r in requests)
+    achieved = len(requests) / report.total_time
+    ttfts = [r.ttft for r in requests]
+    return LoadTestReport(
+        offered_rate=offered_rate,
+        achieved_rate=achieved,
+        mean_ttft=report.mean_ttft,
+        p99_ttft=percentile(ttfts, 99),
+        mean_tpot=report.mean_tpot,
+        # Saturated when the engine finishes well after arrivals stop.
+        saturated=report.total_time > 1.25 * last_arrival,
+    )
+
+
+def max_sustainable_rate(
+    engine_factory: Callable[[], LlmServingEngine],
+    request_factory: Callable[[], List[Request]],
+    low: float,
+    high: float,
+    iterations: int = 6,
+    seed: int = 0,
+) -> float:
+    """Bisect for the highest rate the engine keeps up with."""
+    if not 0 < low < high:
+        raise ValueError("need 0 < low < high")
+    for _ in range(iterations):
+        mid = (low + high) / 2
+        report = run_load_test(engine_factory, request_factory, mid, seed)
+        if report.saturated:
+            high = mid
+        else:
+            low = mid
+    return low

@@ -1,0 +1,53 @@
+"""Single-device RecSys serving (Section 3.5, Figure 11).
+
+The Gaudi SDK lacks multi-device RecSys support (no TorchRec), so the
+paper -- and this model -- serve RM1/RM2 on a single device.  The
+server batches inference requests and reports latency, throughput,
+power, and energy per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.dlrm import DlrmCostModel, DlrmForwardEstimate
+
+
+@dataclass(frozen=True)
+class RecSysReport:
+    """Metrics of one batched RecSys inference."""
+
+    device: str
+    model_name: str
+    batch: int
+    latency: float
+    average_power: float
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.batch / self.latency if self.latency > 0 else 0.0
+
+    @property
+    def energy_joules(self) -> float:
+        return self.average_power * self.latency
+
+    @property
+    def energy_per_request(self) -> float:
+        return self.energy_joules / self.batch if self.batch else 0.0
+
+
+class RecSysServer:
+    """Serves batched recommendation inference on one device."""
+
+    def __init__(self, model: DlrmCostModel) -> None:
+        self.model = model
+
+    def serve_batch(self, batch: int) -> RecSysReport:
+        estimate: DlrmForwardEstimate = self.model.forward(batch)
+        return RecSysReport(
+            device=estimate.device,
+            model_name=estimate.config_name,
+            batch=batch,
+            latency=estimate.time,
+            average_power=estimate.average_power,
+        )

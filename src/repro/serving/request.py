@@ -1,0 +1,68 @@
+"""Request lifecycle for the serving engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class RequestState(enum.Enum):
+    WAITING = "waiting"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One generation request and its latency bookkeeping."""
+
+    request_id: int
+    input_tokens: int
+    output_tokens: int
+    arrival_time: float = 0.0
+    state: RequestState = RequestState.WAITING
+    generated: int = 0
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.input_tokens <= 0 or self.output_tokens <= 0:
+            raise ValueError("input_tokens and output_tokens must be positive")
+
+    @property
+    def context_len(self) -> int:
+        """Current KV length: prompt plus generated tokens."""
+        return self.input_tokens + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.output_tokens
+
+    def record_token(self, now: float) -> None:
+        """Account one generated token at virtual time ``now``."""
+        if self.state is not RequestState.RUNNING:
+            raise RuntimeError(f"request {self.request_id} is not running")
+        self.generated += 1
+        if self.first_token_time is None:
+            self.first_token_time = now
+        if self.done:
+            self.state = RequestState.FINISHED
+            self.finish_time = now
+
+    # -- metrics ---------------------------------------------------------
+    @property
+    def ttft(self) -> float:
+        """Time-To-First-Token."""
+        if self.first_token_time is None:
+            raise RuntimeError(f"request {self.request_id} has no first token yet")
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def tpot(self) -> float:
+        """Time-Per-Output-Token (excluding the first token)."""
+        if self.finish_time is None:
+            raise RuntimeError(f"request {self.request_id} is not finished")
+        if self.output_tokens == 1:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / (self.output_tokens - 1)

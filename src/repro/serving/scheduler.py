@@ -1,0 +1,85 @@
+"""Continuous-batching scheduler.
+
+vLLM-style iteration-level scheduling: at every engine step, finished
+requests leave, and waiting requests are admitted while (a) the running
+decode batch is below ``max_decode_batch`` -- the knob swept in
+Figure 17(d, e) -- and (b) the KV block pool can hold their prompts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.serving.kv_cache import BlockManager, KvCacheError
+from repro.serving.request import Request, RequestState
+
+
+@dataclass
+class ScheduleStep:
+    """What the engine should execute next."""
+
+    new_requests: List[Request] = field(default_factory=list)
+    running: List[Request] = field(default_factory=list)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.new_requests or self.running)
+
+
+class ContinuousBatchingScheduler:
+    """Admission + batching policy over a shared block pool."""
+
+    def __init__(
+        self,
+        block_manager: BlockManager,
+        max_decode_batch: int,
+    ) -> None:
+        if max_decode_batch <= 0:
+            raise ValueError("max_decode_batch must be positive")
+        self.block_manager = block_manager
+        self.max_decode_batch = max_decode_batch
+        self.waiting: List[Request] = []
+        self.running: List[Request] = []
+
+    def submit(self, request: Request) -> None:
+        if request.state is not RequestState.WAITING:
+            raise ValueError(f"request {request.request_id} is not schedulable")
+        needed = self.block_manager.blocks_needed(request.input_tokens)
+        if needed > self.block_manager.num_blocks:
+            raise KvCacheError(
+                f"request {request.request_id}'s prompt needs {needed} KV "
+                f"blocks but the pool only has {self.block_manager.num_blocks}; "
+                "it can never be scheduled"
+            )
+        self.waiting.append(request)
+
+    @property
+    def has_unfinished(self) -> bool:
+        return bool(self.waiting or self.running)
+
+    def step(self, now: float) -> ScheduleStep:
+        """Admit what fits, retire what finished, return the batch."""
+        # Retire finished requests and release their blocks.
+        still_running: List[Request] = []
+        for request in self.running:
+            if request.state is RequestState.FINISHED:
+                self.block_manager.free(request.request_id)
+            else:
+                still_running.append(request)
+        self.running = still_running
+
+        # Admit waiting requests in arrival order (no reordering).
+        admitted: List[Request] = []
+        while (
+            self.waiting
+            and len(self.running) + len(admitted) < self.max_decode_batch
+            and self.waiting[0].arrival_time <= now
+            and self.block_manager.can_allocate(self.waiting[0].input_tokens)
+        ):
+            request = self.waiting.pop(0)
+            self.block_manager.allocate(request.request_id, request.input_tokens)
+            request.state = RequestState.RUNNING
+            admitted.append(request)
+        self.running.extend(admitted)
+        return ScheduleStep(new_requests=admitted, running=list(self.running))

@@ -1,0 +1,241 @@
+"""Kernel-construction DSL for TPC-C-style kernels.
+
+The builder mirrors how a TPC-C programmer writes the inner loop of a
+kernel (Figure 2(c) of the paper): vector loads from tensors, vector
+arithmetic, vector stores, all inside a for-loop that may be unrolled
+with ``#pragma unroll``.  Unrolling here does what the TPC compiler
+does -- it replicates the body and renames registers so the copies are
+independent -- and the renaming is bounded by the physical vector
+register file, so extreme unroll factors reintroduce hazards instead of
+helping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Tuple
+
+from repro.hw.spec import DType
+from repro.tpc.isa import Instruction, Opcode
+from repro.tpc.kernel import TpcKernel
+
+#: Architectural vector register file size of one TPC.
+VECTOR_REGISTER_FILE = 40
+
+#: Maximum bytes one vector load/store instruction can move (the 2048-bit
+#: vector datapath with 256-byte global access granularity).
+MAX_ACCESS_BYTES = 256
+
+
+def _schedule(annotated: List[Tuple[int, int, Instruction]]) -> List[Instruction]:
+    """Static scheduling pass over the unrolled body.
+
+    The TPC compiler hoists independent loads of later unroll copies
+    above earlier copies' dependent arithmetic and interleaves the
+    copies' dependency chains, which is what turns unrolling into
+    instruction- and memory-level parallelism on an in-order machine.
+    Modelled as a phase sort (address-independent loads first,
+    arithmetic second, stores last) with round-robin interleaving
+    across unroll copies inside each phase, so each copy's internal
+    dependency order is preserved while independent chains overlap.
+
+    ``annotated`` entries are ``(copy_index, seq_within_copy, instr)``.
+    """
+
+    def phase(instr: Instruction) -> int:
+        if instr.is_load and not instr.sources:
+            return 0
+        if instr.is_store:
+            return 2
+        return 1
+
+    return [
+        instr
+        for _, _, instr in sorted(
+            annotated, key=lambda item: (phase(item[2]), item[1], item[0])
+        )
+    ]
+
+
+class TpcKernelBuilder:
+    """Builds the unrolled instruction body of a TPC kernel."""
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DType = DType.BF16,
+        vector_registers: int = VECTOR_REGISTER_FILE,
+    ) -> None:
+        self.name = name
+        self.dtype = dtype
+        self.vector_registers = vector_registers
+        self._body: List[Instruction] = []
+        self._next_register = 0
+        self._tensors: set[str] = set()
+
+    # -- register allocation -------------------------------------------
+    def _alloc_register(self) -> str:
+        # Past the physical register file the allocator wraps around,
+        # reintroducing the WAR/WAW hazards renaming was hiding.
+        reg = f"v{self._next_register % self.vector_registers}"
+        self._next_register += 1
+        return reg
+
+    # -- emission primitives --------------------------------------------
+    def load_tensor(self, tensor: str, access_bytes: int = MAX_ACCESS_BYTES) -> str:
+        """``v_<t>_ld_tnsr``: streaming vector load; returns the register.
+
+        Loads wider than 256 bytes are split into multiple instructions,
+        exactly as the TPC ISA requires.
+        """
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        self._tensors.add(tensor)
+        reg = self._alloc_register()
+        remaining = access_bytes
+        first = True
+        while remaining > 0:
+            chunk = min(remaining, MAX_ACCESS_BYTES)
+            self._body.append(
+                Instruction(
+                    opcode=Opcode.LD_TNSR,
+                    dest=reg if first else self._alloc_register(),
+                    sources=(),
+                    dtype=self.dtype,
+                    access_bytes=chunk,
+                    tensor=tensor,
+                )
+            )
+            remaining -= chunk
+            first = False
+        return reg
+
+    def gather(self, tensor: str, access_bytes: int, address: Optional[str] = None) -> None:
+        """``ld_g``: random-address load into vector local memory.
+
+        The destination is local memory rather than a register, so the
+        load creates no register dependency and many gathers can be in
+        flight at once -- up to the TPC's outstanding-load window.
+        """
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        self._tensors.add(tensor)
+        remaining = access_bytes
+        while remaining > 0:
+            chunk = min(remaining, MAX_ACCESS_BYTES)
+            self._body.append(
+                Instruction(
+                    opcode=Opcode.LD_G,
+                    dest=None,
+                    sources=(address,) if address else (),
+                    dtype=self.dtype,
+                    access_bytes=chunk,
+                    tensor=tensor,
+                )
+            )
+            remaining -= chunk
+
+    def vec(self, opcode: Opcode, *sources: str) -> str:
+        """Vector ALU instruction; returns the destination register."""
+        dest = self._alloc_register()
+        self._body.append(
+            Instruction(opcode=opcode, dest=dest, sources=tuple(sources), dtype=self.dtype)
+        )
+        return dest
+
+    def vec_into(self, opcode: Opcode, dest: str, *sources: str) -> str:
+        """Vector ALU instruction writing an existing register
+        (e.g. a MAC accumulator)."""
+        self._body.append(
+            Instruction(opcode=opcode, dest=dest, sources=tuple(sources), dtype=self.dtype)
+        )
+        return dest
+
+    def scalar(self, opcode: Opcode, *sources: str) -> str:
+        """Scalar-slot ALU instruction (address/index bookkeeping)."""
+        dest = self._alloc_register()
+        self._body.append(
+            Instruction(opcode=opcode, dest=dest, sources=tuple(sources), dtype=self.dtype)
+        )
+        return dest
+
+    def store_tensor(
+        self, tensor: str, source: str, access_bytes: int = MAX_ACCESS_BYTES
+    ) -> None:
+        """``v_<t>_st_tnsr``: streaming vector store."""
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        self._tensors.add(tensor)
+        remaining = access_bytes
+        while remaining > 0:
+            chunk = min(remaining, MAX_ACCESS_BYTES)
+            self._body.append(
+                Instruction(
+                    opcode=Opcode.ST_TNSR,
+                    dest=None,
+                    sources=(source,),
+                    dtype=self.dtype,
+                    access_bytes=chunk,
+                    tensor=tensor,
+                )
+            )
+            remaining -= chunk
+
+    def scatter(self, tensor: str, source: str, access_bytes: int) -> None:
+        """``st_g``: random-address store."""
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        self._tensors.add(tensor)
+        remaining = access_bytes
+        while remaining > 0:
+            chunk = min(remaining, MAX_ACCESS_BYTES)
+            self._body.append(
+                Instruction(
+                    opcode=Opcode.ST_G,
+                    dest=None,
+                    sources=(source,),
+                    dtype=self.dtype,
+                    access_bytes=chunk,
+                    tensor=tensor,
+                )
+            )
+            remaining -= chunk
+
+    # -- loop construction ----------------------------------------------
+    def build_loop(
+        self,
+        body_fn: Callable[["TpcKernelBuilder"], None],
+        iterations: int,
+        unroll: int = 1,
+        functional: Optional[Callable[..., object]] = None,
+    ) -> TpcKernel:
+        """Unroll ``body_fn`` ``unroll`` times and close the loop.
+
+        ``iterations`` is the number of *logical* iterations one TPC
+        executes; the built kernel's body covers ``unroll`` of them per
+        trip, so the trip count is ``ceil(iterations / unroll)``.
+        """
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if unroll <= 0:
+            raise ValueError("unroll must be positive")
+        self._body = []
+        self._next_register = 0
+        annotated: List[Tuple[int, int, Instruction]] = []
+        for copy_index in range(unroll):
+            start = len(self._body)
+            body_fn(self)
+            for seq, instr in enumerate(self._body[start:]):
+                annotated.append((copy_index, seq, instr))
+        self._body = _schedule(annotated)
+        self._body.append(Instruction(opcode=Opcode.LOOP_END, dest=None, latency=1))
+        trips = math.ceil(iterations / unroll)
+        return TpcKernel(
+            name=self.name,
+            body=list(self._body),
+            trips=trips,
+            unroll=unroll,
+            dtype=self.dtype,
+            num_streams=max(1, len(self._tensors)),
+            functional=functional,
+        )

@@ -1,0 +1,103 @@
+"""The TPC index space (Figure 3 of the paper).
+
+A TPC workload is partitioned by an *index space* of up to five
+dimensions.  Each member of the index space is an indivisible unit of
+work executed by a single TPC; the runtime distributes members across
+the 24 TPCs.  This module models the partitioning arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+MAX_DIMS = 5
+
+
+@dataclass(frozen=True)
+class IndexSpaceMember:
+    """One indivisible unit of work: a coordinate in the index space."""
+
+    coords: Tuple[int, ...]
+
+    def __getitem__(self, dim: int) -> int:
+        return self.coords[dim]
+
+
+class IndexSpace:
+    """An up-to-5-dimensional index space.
+
+    ``sizes`` gives the extent of each dimension in *members*; each
+    member covers ``steps[d]`` elements along dimension ``d`` (e.g., a
+    256-byte FP32 vector load covers 64 elements in the depth
+    dimension, as in Figure 2(c)).
+    """
+
+    def __init__(self, sizes: Sequence[int], steps: Sequence[int] | None = None) -> None:
+        if not 1 <= len(sizes) <= MAX_DIMS:
+            raise ValueError(f"index space supports 1..{MAX_DIMS} dims, got {len(sizes)}")
+        if any(s <= 0 for s in sizes):
+            raise ValueError(f"all dimension sizes must be positive, got {sizes}")
+        self.sizes: Tuple[int, ...] = tuple(int(s) for s in sizes)
+        if steps is None:
+            steps = [1] * len(sizes)
+        if len(steps) != len(sizes) or any(s <= 0 for s in steps):
+            raise ValueError("steps must match sizes and be positive")
+        self.steps: Tuple[int, ...] = tuple(int(s) for s in steps)
+
+    @classmethod
+    def for_elements(
+        cls, num_elements: int, elements_per_member: int, width: int = 1
+    ) -> "IndexSpace":
+        """Build a 2-D (depth x width) index space over a flat array.
+
+        ``elements_per_member`` is the number of array elements one
+        member covers in the depth dimension -- i.e., the data access
+        granularity divided by the element size.
+        """
+        if num_elements <= 0 or elements_per_member <= 0 or width <= 0:
+            raise ValueError("arguments must be positive")
+        depth = math.ceil(num_elements / (elements_per_member * width))
+        return cls(sizes=(depth, width), steps=(elements_per_member, 1))
+
+    @property
+    def num_dims(self) -> int:
+        return len(self.sizes)
+
+    @property
+    def num_members(self) -> int:
+        product = 1
+        for s in self.sizes:
+            product *= s
+        return product
+
+    @property
+    def elements_per_member(self) -> int:
+        product = 1
+        for s in self.steps:
+            product *= s
+        return product
+
+    def members(self) -> Iterator[IndexSpaceMember]:
+        for coords in itertools.product(*(range(s) for s in self.sizes)):
+            yield IndexSpaceMember(coords=coords)
+
+    def __repr__(self) -> str:
+        return f"IndexSpace(sizes={self.sizes}, steps={self.steps})"
+
+
+def partition_members(num_members: int, num_tpcs: int) -> List[int]:
+    """Round-robin member counts per TPC.
+
+    Returns a list of length ``num_tpcs`` whose entries sum to
+    ``num_members``; the kernel's launch time is governed by the TPC
+    with the most members (``max`` of the list).
+    """
+    if num_members < 0:
+        raise ValueError("num_members must be non-negative")
+    if num_tpcs <= 0:
+        raise ValueError("num_tpcs must be positive")
+    base, extra = divmod(num_members, num_tpcs)
+    return [base + (1 if i < extra else 0) for i in range(num_tpcs)]

@@ -1,0 +1,80 @@
+"""Numpy-backed functional semantics for TPC vector intrinsics.
+
+The timing simulator (:mod:`repro.tpc.pipeline`) only cares about slots
+and hazards; these helpers give kernels *meaning* so tests can assert
+that, e.g., the TRIAD kernel really computes ``scalar * a + b``.  Names
+mirror the TPC-C intrinsics of Figure 2(c) without the dtype prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BF16_MANTISSA_MASK = np.uint32(0xFFFF0000)
+
+
+def as_bf16(x: np.ndarray) -> np.ndarray:
+    """Round an FP32 array to BF16 precision (still stored as FP32).
+
+    BF16 is FP32 with the bottom 16 mantissa bits dropped; numpy has no
+    native bfloat16, so values are truncated in place of a dtype.
+    """
+    x32 = np.asarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32) & _BF16_MANTISSA_MASK
+    return bits.view(np.float32)
+
+
+def v_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``v_<t>_add_b``: element-wise addition."""
+    return np.asarray(a) + np.asarray(b)
+
+
+def v_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``v_<t>_sub_b``: element-wise subtraction."""
+    return np.asarray(a) - np.asarray(b)
+
+
+def v_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``v_<t>_mul_b``: element-wise multiplication."""
+    return np.asarray(a) * np.asarray(b)
+
+
+def v_mac(acc: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``v_<t>_mac_b``: fused multiply-accumulate, ``acc + a * b``."""
+    return np.asarray(acc) + np.asarray(a) * np.asarray(b)
+
+
+def v_max(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``v_<t>_max_b``: element-wise maximum."""
+    return np.maximum(a, b)
+
+
+def v_min(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``v_<t>_min_b``: element-wise minimum."""
+    return np.minimum(a, b)
+
+
+def v_exp(a: np.ndarray) -> np.ndarray:
+    """Vector exponential (special-function path)."""
+    return np.exp(np.asarray(a))
+
+
+def v_recip(a: np.ndarray) -> np.ndarray:
+    """Vector reciprocal (special-function path)."""
+    return 1.0 / np.asarray(a)
+
+
+def v_gather(table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """``ld_g`` over a row-major table: gather rows by index."""
+    table = np.asarray(table)
+    indices = np.asarray(indices)
+    if indices.size and (indices.min() < 0 or indices.max() >= table.shape[0]):
+        raise IndexError("gather index out of range")
+    return table[indices]
+
+
+def v_scatter(target: np.ndarray, indices: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """``st_g``: scatter rows into a table (last write wins)."""
+    out = np.array(target, copy=True)
+    out[np.asarray(indices)] = rows
+    return out

@@ -1,0 +1,89 @@
+"""TPC kernel objects.
+
+A :class:`TpcKernel` is the unit the launcher schedules onto TPCs: an
+unrolled loop body (a sequence of :class:`~repro.tpc.isa.Instruction`),
+a trip count, and optionally a numpy-backed functional implementation
+so correctness can be checked independently of timing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.hw.spec import DType
+from repro.tpc.isa import Instruction, MemoryKind
+
+
+@dataclass
+class TpcKernel:
+    """One compiled TPC program.
+
+    ``trips`` is the per-TPC loop trip count; each trip executes
+    ``body`` once (which covers ``unroll`` logical iterations).
+    """
+
+    name: str
+    body: List[Instruction]
+    trips: int
+    unroll: int = 1
+    dtype: DType = DType.BF16
+    #: Number of distinct global tensors the kernel streams through
+    #: (feeds the DRAM row-conflict model).
+    num_streams: int = 1
+    #: Optional functional implementation: ``functional(*arrays)``.
+    functional: Optional[Callable[..., object]] = None
+
+    def __post_init__(self) -> None:
+        if self.trips <= 0:
+            raise ValueError("trips must be positive")
+        if not self.body:
+            raise ValueError("kernel body is empty")
+
+    # ------------------------------------------------------------------
+    @property
+    def loads_per_trip(self) -> int:
+        return sum(1 for i in self.body if i.is_load)
+
+    @property
+    def stores_per_trip(self) -> int:
+        return sum(1 for i in self.body if i.is_store)
+
+    @property
+    def has_random_access(self) -> bool:
+        return any(
+            i.memory_kind in (MemoryKind.RANDOM_LOAD, MemoryKind.RANDOM_STORE)
+            for i in self.body
+        )
+
+    @property
+    def random_access_bytes(self) -> int:
+        """Size of the random accesses (0 if none; assumed uniform)."""
+        sizes = {
+            i.access_bytes
+            for i in self.body
+            if i.memory_kind in (MemoryKind.RANDOM_LOAD, MemoryKind.RANDOM_STORE)
+        }
+        return max(sizes) if sizes else 0
+
+    @property
+    def flops_per_trip(self) -> float:
+        return sum(i.flops for i in self.body)
+
+    def useful_bytes_per_trip(self) -> float:
+        return float(sum(i.access_bytes for i in self.body if i.memory_kind is not MemoryKind.NONE))
+
+    def moved_bytes_per_trip(self, min_access_bytes: int) -> float:
+        total = 0.0
+        for i in self.body:
+            if i.memory_kind is MemoryKind.NONE or i.access_bytes == 0:
+                continue
+            total += min_access_bytes * math.ceil(i.access_bytes / min_access_bytes)
+        return total
+
+    def run_functional(self, *arrays: object) -> object:
+        """Execute the numpy-backed semantics, if provided."""
+        if self.functional is None:
+            raise NotImplementedError(f"kernel {self.name!r} has no functional model")
+        return self.functional(*arrays)

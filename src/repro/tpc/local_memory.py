@@ -1,0 +1,100 @@
+"""Per-TPC local memories.
+
+Each TPC owns a 1 KB scalar local memory (4-byte aligned accesses) and
+an 80 KB vector local memory (128/256-byte accesses), private to the
+core (Section 2.1).  The embedding operators of Section 4.1 stage
+gathered vectors here, so the allocator enforces capacity and alignment
+the way the real SDK does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+SCALAR_LOCAL_BYTES = 1024
+VECTOR_LOCAL_BYTES = 80 * 1024
+SCALAR_ALIGN = 4
+VECTOR_ALIGN = 128
+
+
+class LocalMemoryError(RuntimeError):
+    """Raised on over-allocation or misaligned access."""
+
+
+@dataclass
+class _Allocation:
+    offset: int
+    size: int
+
+
+class LocalMemory:
+    """A bump allocator over one TPC-local memory bank."""
+
+    def __init__(self, capacity: int, alignment: int, name: str) -> None:
+        if capacity <= 0 or alignment <= 0:
+            raise ValueError("capacity and alignment must be positive")
+        self.capacity = capacity
+        self.alignment = alignment
+        self.name = name
+        self._cursor = 0
+        self._allocations: Dict[str, _Allocation] = {}
+
+    @classmethod
+    def scalar(cls) -> "LocalMemory":
+        return cls(SCALAR_LOCAL_BYTES, SCALAR_ALIGN, "scalar")
+
+    @classmethod
+    def vector(cls) -> "LocalMemory":
+        return cls(VECTOR_LOCAL_BYTES, VECTOR_ALIGN, "vector")
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._cursor
+
+    def allocate(self, label: str, size: int) -> int:
+        """Reserve ``size`` bytes; returns the byte offset."""
+        if size <= 0:
+            raise LocalMemoryError(f"{self.name}: allocation size must be positive")
+        if label in self._allocations:
+            raise LocalMemoryError(f"{self.name}: label {label!r} already allocated")
+        aligned = -(-size // self.alignment) * self.alignment
+        if self._cursor + aligned > self.capacity:
+            raise LocalMemoryError(
+                f"{self.name} local memory overflow: need {aligned} bytes, "
+                f"only {self.free} of {self.capacity} free"
+            )
+        offset = self._cursor
+        self._cursor += aligned
+        self._allocations[label] = _Allocation(offset=offset, size=size)
+        return offset
+
+    def offset_of(self, label: str) -> int:
+        try:
+            return self._allocations[label].offset
+        except KeyError:
+            raise LocalMemoryError(f"{self.name}: unknown allocation {label!r}") from None
+
+    def check_access(self, label: str, offset: int, size: int) -> None:
+        """Validate an access against an allocation's bounds and alignment."""
+        alloc = self._allocations.get(label)
+        if alloc is None:
+            raise LocalMemoryError(f"{self.name}: unknown allocation {label!r}")
+        if offset % self.alignment != 0:
+            raise LocalMemoryError(
+                f"{self.name}: access at offset {offset} violates "
+                f"{self.alignment}-byte alignment"
+            )
+        if offset < 0 or offset + size > alloc.size:
+            raise LocalMemoryError(
+                f"{self.name}: access [{offset}, {offset + size}) outside "
+                f"allocation {label!r} of {alloc.size} bytes"
+            )
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self._allocations.clear()

@@ -1,0 +1,15 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.hw.device import A100Device, Gaudi2Device
+
+
+@pytest.fixture(scope="session")
+def gaudi():
+    return Gaudi2Device()
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return A100Device()

@@ -1,0 +1,94 @@
+"""Open-loop load generation and sustainable-rate search."""
+
+import pytest
+
+from repro.hw import get_device
+from repro.models.llama import DecodeAttention, LLAMA_3_1_8B, LlamaCostModel
+from repro.serving import (
+    LlmServingEngine,
+    fixed_length_requests,
+    max_sustainable_rate,
+    poisson_arrivals,
+    run_load_test,
+)
+
+
+def _engine_factory(device_name="gaudi2", max_batch=16):
+    def factory():
+        return LlmServingEngine(
+            LlamaCostModel(LLAMA_3_1_8B, get_device(device_name)),
+            DecodeAttention.PAGED_OPT,
+            max_decode_batch=max_batch,
+        )
+
+    return factory
+
+
+def _request_factory(n=24):
+    return lambda: fixed_length_requests(n, input_len=128, output_len=32)
+
+
+class TestPoissonArrivals:
+    def test_arrivals_monotone(self):
+        requests = poisson_arrivals(fixed_length_requests(20, 100, 10), rate=5.0, seed=1)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_rate_controls_spacing(self):
+        slow = poisson_arrivals(fixed_length_requests(200, 100, 10), rate=1.0, seed=2)
+        fast = poisson_arrivals(fixed_length_requests(200, 100, 10), rate=100.0, seed=2)
+        assert fast[-1].arrival_time < slow[-1].arrival_time
+
+    def test_seeded_determinism(self):
+        a = poisson_arrivals(fixed_length_requests(10, 100, 10), 5.0, seed=3)
+        b = poisson_arrivals(fixed_length_requests(10, 100, 10), 5.0, seed=3)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(fixed_length_requests(4, 100, 10), 0.0)
+
+
+class TestLoadTest:
+    def test_light_load_not_saturated(self):
+        report = run_load_test(_engine_factory(), _request_factory(), offered_rate=2.0)
+        assert not report.saturated
+        assert report.mean_ttft < 1.0
+
+    def test_overload_saturates(self):
+        report = run_load_test(_engine_factory(max_batch=2), _request_factory(48),
+                               offered_rate=500.0)
+        assert report.saturated
+        assert report.achieved_rate < report.offered_rate
+
+    def test_latency_grows_with_load(self):
+        light = run_load_test(_engine_factory(), _request_factory(), 2.0)
+        heavy = run_load_test(_engine_factory(), _request_factory(), 200.0)
+        assert heavy.p99_ttft > light.p99_ttft
+        assert heavy.p99_ttft >= heavy.mean_ttft
+
+
+class TestSustainableRate:
+    def test_bisection_converges_between_bounds(self):
+        rate = max_sustainable_rate(
+            _engine_factory(), _request_factory(), low=1.0, high=500.0, iterations=5
+        )
+        assert 1.0 <= rate <= 500.0
+        # The found rate must itself be sustainable.
+        report = run_load_test(_engine_factory(), _request_factory(), rate)
+        assert not report.saturated
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            max_sustainable_rate(_engine_factory(), _request_factory(), 10.0, 5.0)
+
+    def test_gaudi_sustains_higher_rate_than_a100(self):
+        """The Figure 17(d) ordering under open-loop load."""
+        gaudi_rate = max_sustainable_rate(
+            _engine_factory("gaudi2"), _request_factory(), 1.0, 400.0, iterations=5
+        )
+        a100_rate = max_sustainable_rate(
+            _engine_factory("a100"), _request_factory(), 1.0, 400.0, iterations=5
+        )
+        assert gaudi_rate >= 0.8 * a100_rate

@@ -1,0 +1,112 @@
+"""HBM memory-system model (Figure 9 mechanics)."""
+
+import pytest
+
+from repro.hw.memory import AccessPattern, HbmModel
+from repro.hw.spec import A100_SPEC, GAUDI2_SPEC
+
+
+@pytest.fixture(scope="module")
+def gaudi_hbm():
+    return HbmModel(GAUDI2_SPEC.memory)
+
+
+@pytest.fixture(scope="module")
+def a100_hbm():
+    return HbmModel(A100_SPEC.memory)
+
+
+class TestStreaming:
+    def test_stream_bandwidth_below_peak(self, gaudi_hbm):
+        assert gaudi_hbm.stream_bandwidth() < GAUDI2_SPEC.memory.bandwidth
+
+    def test_more_streams_lower_efficiency(self, gaudi_hbm):
+        assert gaudi_hbm.stream_efficiency(3) < gaudi_hbm.stream_efficiency(2)
+
+    def test_two_streams_is_base_efficiency(self, gaudi_hbm):
+        assert gaudi_hbm.stream_efficiency(2) == GAUDI2_SPEC.memory.stream_efficiency
+
+    def test_efficiency_floor(self, gaudi_hbm):
+        assert gaudi_hbm.stream_efficiency(50) >= 0.35
+
+    def test_stream_time_linear_in_bytes(self, gaudi_hbm):
+        assert gaudi_hbm.stream_time(2e9) == pytest.approx(2 * gaudi_hbm.stream_time(1e9))
+
+    def test_invalid_streams_raise(self, gaudi_hbm):
+        with pytest.raises(ValueError):
+            gaudi_hbm.stream_efficiency(0)
+
+
+class TestGranularity:
+    def test_full_granule_no_waste(self, gaudi_hbm):
+        assert gaudi_hbm.granularity_efficiency(256) == 1.0
+        assert gaudi_hbm.granularity_efficiency(512) == 1.0
+
+    def test_sub_granule_waste_gaudi(self, gaudi_hbm):
+        assert gaudi_hbm.granularity_efficiency(64) == pytest.approx(0.25)
+
+    def test_sub_granule_waste_a100_starts_lower(self, a100_hbm):
+        assert a100_hbm.granularity_efficiency(64) == 1.0
+        assert a100_hbm.granularity_efficiency(16) == pytest.approx(0.5)
+
+    def test_invalid_access_raises(self, gaudi_hbm):
+        with pytest.raises(ValueError):
+            gaudi_hbm.granularity_efficiency(0)
+
+
+class TestRandomAccess:
+    def test_gaudi_256b_matches_random_efficiency(self, gaudi_hbm):
+        util = gaudi_hbm.random_utilization(256)
+        assert util == pytest.approx(GAUDI2_SPEC.memory.random_efficiency, abs=0.01)
+
+    def test_gaudi_small_vector_collapse(self, gaudi_hbm):
+        """Paper: <=128 B gathers average ~15 % of peak on Gaudi-2."""
+        utils = [gaudi_hbm.random_utilization(s) for s in (16, 32, 64, 128)]
+        assert sum(utils) / 4 == pytest.approx(0.15, abs=0.04)
+
+    def test_a100_small_vector_transaction_limited(self, a100_hbm):
+        """Paper: <=128 B gathers average ~36 % of peak on A100."""
+        utils = [a100_hbm.random_utilization(s) for s in (16, 32, 64, 128)]
+        assert sum(utils) / 4 == pytest.approx(0.36, abs=0.06)
+
+    def test_small_vector_gap_roughly_2_4x(self, gaudi_hbm, a100_hbm):
+        gaudi = sum(gaudi_hbm.random_utilization(s) * GAUDI2_SPEC.memory.bandwidth
+                    for s in (16, 32, 64, 128))
+        a100 = sum(a100_hbm.random_utilization(s) * A100_SPEC.memory.bandwidth
+                   for s in (16, 32, 64, 128))
+        assert a100 / gaudi == pytest.approx(2.4, abs=0.8)
+
+    def test_l2_resident_working_set_faster_on_a100(self, a100_hbm):
+        hot = a100_hbm.random_bandwidth(256, working_set_bytes=8 << 20)
+        cold = a100_hbm.random_bandwidth(256, working_set_bytes=1 << 30)
+        assert hot > cold
+
+    def test_no_l2_benefit_on_gaudi(self, gaudi_hbm):
+        hot = gaudi_hbm.random_bandwidth(256, working_set_bytes=8 << 20)
+        cold = gaudi_hbm.random_bandwidth(256, working_set_bytes=1 << 30)
+        assert hot == cold
+
+    def test_sub_granule_scatter_rmw_on_gaudi(self, gaudi_hbm):
+        read = gaudi_hbm.random_bandwidth(64, is_write=False)
+        write = gaudi_hbm.random_bandwidth(64, is_write=True)
+        assert write == pytest.approx(read / 2)
+
+    def test_gather_time_scales_with_count(self, gaudi_hbm):
+        one = gaudi_hbm.gather_time(1000, 256)
+        two = gaudi_hbm.gather_time(2000, 256)
+        assert two == pytest.approx(2 * one)
+
+
+class TestEstimate:
+    def test_stream_estimate(self, gaudi_hbm):
+        estimate = gaudi_hbm.estimate(AccessPattern.STREAM, 1e9)
+        assert estimate.moved_bytes == estimate.useful_bytes
+        assert estimate.achieved_bandwidth == pytest.approx(gaudi_hbm.stream_bandwidth())
+
+    def test_random_estimate_tracks_waste(self, gaudi_hbm):
+        estimate = gaudi_hbm.estimate(AccessPattern.RANDOM, 1e6, access_bytes=64)
+        assert estimate.moved_bytes == pytest.approx(4e6)
+
+    def test_random_estimate_needs_access_bytes(self, gaudi_hbm):
+        with pytest.raises(ValueError):
+            gaudi_hbm.estimate(AccessPattern.RANDOM, 1e6)

@@ -1,0 +1,149 @@
+"""DLRM-DCNv2 models (Figure 11)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.elementwise import relu
+from repro.models.dlrm import (
+    DlrmConfig,
+    DlrmCostModel,
+    RM1_CONFIG,
+    RM2_CONFIG,
+    reference_dlrm_forward,
+)
+
+
+class TestConfigs:
+    def test_rm1_table3_values(self):
+        assert RM1_CONFIG.bottom_mlp == (512, 256, 64)
+        assert RM1_CONFIG.top_mlp == (1024, 1024, 512, 256, 1)
+        assert RM1_CONFIG.cross_low_rank == 512
+        assert RM1_CONFIG.cross_layers == 3
+
+    def test_rm2_table3_values(self):
+        assert RM2_CONFIG.bottom_mlp == (256, 64, 64)
+        assert RM2_CONFIG.top_mlp == (128, 64, 1)
+        assert RM2_CONFIG.cross_low_rank == 64
+        assert RM2_CONFIG.cross_layers == 2
+        assert RM2_CONFIG.rows_per_table == 1_000_000
+
+    def test_embedding_dim_resize_keeps_consistency(self):
+        resized = RM1_CONFIG.with_embedding_dim(128)
+        assert resized.embedding_dim == 128
+        assert resized.bottom_mlp[-1] == 128
+
+    def test_inconsistent_bottom_mlp_rejected(self):
+        with pytest.raises(ValueError, match="bottom MLP"):
+            DlrmConfig("bad", 2, 1000, 64, 1, 13, (128, 32), (64, 1), 32, 1)
+
+    def test_interaction_width(self):
+        assert RM1_CONFIG.interaction_width == 11 * 64
+
+
+class TestForward:
+    def test_breakdown_covers_total(self, gaudi):
+        estimate = DlrmCostModel(RM1_CONFIG, gaudi).forward(2048)
+        assert sum(estimate.breakdown.values()) == pytest.approx(estimate.time)
+        assert set(estimate.breakdown) == {
+            "embedding", "bottom_mlp", "interaction", "top_mlp"
+        }
+
+    def test_rm2_embedding_dominated(self, gaudi):
+        """RM2 is the memory-intensive configuration."""
+        estimate = DlrmCostModel(RM2_CONFIG, gaudi).forward(4096)
+        assert estimate.breakdown["embedding"] > 0.5 * estimate.time
+
+    def test_rm1_compute_heavy(self, gaudi):
+        """RM1's MLP + interaction outweigh its embedding."""
+        estimate = DlrmCostModel(RM1_CONFIG, gaudi).forward(4096)
+        mlp = (estimate.breakdown["bottom_mlp"] + estimate.breakdown["top_mlp"]
+               + estimate.breakdown["interaction"])
+        assert mlp > estimate.breakdown["embedding"]
+
+    def test_gaudi_slower_on_average(self, gaudi, a100):
+        """Paper: ~20 % average RecSys slowdown on Gaudi-2."""
+        ratios = []
+        for cfg in (RM1_CONFIG, RM2_CONFIG):
+            for batch in (1024, 8192):
+                fg = DlrmCostModel(cfg, gaudi).forward(batch)
+                fa = DlrmCostModel(cfg, a100).forward(batch)
+                ratios.append(fa.time / fg.time)
+        assert 0.6 < sum(ratios) / len(ratios) < 1.0
+
+    def test_small_vectors_hurt_gaudi_most(self, gaudi, a100):
+        """Paper: up to 70 % slowdown for RM2 with <256 B vectors."""
+        small = RM2_CONFIG.with_embedding_dim(16)  # 64 B rows
+        fg = DlrmCostModel(small, gaudi).forward(4096)
+        fa = DlrmCostModel(small, a100).forward(4096)
+        assert fa.time / fg.time < 0.7
+
+    def test_gaudi_wins_at_wide_vectors(self, gaudi, a100):
+        """Paper: up to 1.36x speedup with wide embedding vectors."""
+        wide = RM2_CONFIG.with_embedding_dim(256)  # 1 KB vectors
+        fg = DlrmCostModel(wide, gaudi).forward(256)
+        fa = DlrmCostModel(wide, a100).forward(256)
+        assert fa.time / fg.time == pytest.approx(1.36, abs=0.15)
+
+    def test_invalid_batch(self, gaudi):
+        with pytest.raises(ValueError):
+            DlrmCostModel(RM1_CONFIG, gaudi).forward(0)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(TypeError):
+            DlrmCostModel(RM1_CONFIG, object())
+
+    def test_energy_accounting(self, gaudi):
+        estimate = DlrmCostModel(RM2_CONFIG, gaudi).forward(4096)
+        assert estimate.energy_joules == pytest.approx(
+            estimate.average_power * estimate.time
+        )
+        assert estimate.requests_per_joule > 0
+
+
+class TestFunctionalForward:
+    def _tiny_setup(self):
+        config = DlrmConfig(
+            name="tiny", num_tables=2, rows_per_table=16, embedding_dim=4,
+            pooling=2, dense_features=3, bottom_mlp=(8, 4), top_mlp=(6, 1),
+            cross_low_rank=3, cross_layers=2,
+        )
+        rng = np.random.default_rng(42)
+        batch = 5
+        dense = rng.normal(size=(batch, 3))
+        tables = rng.normal(size=(2, 16, 4))
+        indices = rng.integers(0, 16, size=(batch, 2, 2))
+        width = config.interaction_width
+        weights = {
+            "bottom": [rng.normal(size=(3, 8)), rng.normal(size=(8, 4))],
+            "top": [rng.normal(size=(width, 6)), rng.normal(size=(6, 1))],
+            "cross_u": [rng.normal(size=(3, width)) for _ in range(2)],
+            "cross_v": [rng.normal(size=(width, 3)) for _ in range(2)],
+            "cross_b": [rng.normal(size=width) for _ in range(2)],
+        }
+        return config, dense, tables, indices, weights
+
+    def test_forward_shape(self):
+        config, dense, tables, indices, weights = self._tiny_setup()
+        out = reference_dlrm_forward(config, dense, tables, indices, weights)
+        assert out.shape == (5, 1)
+
+    def test_forward_matches_manual_computation(self):
+        config, dense, tables, indices, weights = self._tiny_setup()
+        out = reference_dlrm_forward(config, dense, tables, indices, weights)
+        # manual recomputation
+        x = relu(relu(dense @ weights["bottom"][0]) @ weights["bottom"][1])
+        bags = np.stack(
+            [tables[t][indices[:, t]].sum(axis=1) for t in range(2)], axis=1
+        )
+        x0 = np.concatenate([x[:, None, :], bags], axis=1).reshape(5, -1)
+        xc = x0
+        for u, v, b in zip(weights["cross_u"], weights["cross_v"], weights["cross_b"]):
+            xc = x0 * ((xc @ v) @ u + b) + xc
+        expected = relu(xc @ weights["top"][0]) @ weights["top"][1]
+        np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_forward_deterministic(self):
+        config, dense, tables, indices, weights = self._tiny_setup()
+        a = reference_dlrm_forward(config, dense, tables, indices, weights)
+        b = reference_dlrm_forward(config, dense, tables, indices, weights)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,53 @@
+"""Tensor-parallel configuration."""
+
+import pytest
+
+from repro.comm import HcclLibrary, NcclLibrary
+from repro.models.tensor_parallel import TensorParallelConfig
+
+
+class TestConstruction:
+    def test_degree_one_has_no_library(self, gaudi):
+        tp = TensorParallelConfig.for_device(gaudi, 1)
+        assert tp.library is None
+
+    def test_device_selects_library(self, gaudi, a100):
+        assert isinstance(TensorParallelConfig.for_device(gaudi, 4).library, HcclLibrary)
+        assert isinstance(TensorParallelConfig.for_device(a100, 4).library, NcclLibrary)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            TensorParallelConfig(degree=0)
+
+    def test_unknown_device(self):
+        with pytest.raises(TypeError):
+            TensorParallelConfig.for_device(object(), 2)
+
+
+class TestSharding:
+    def test_shard_divides(self):
+        assert TensorParallelConfig(degree=4).shard(8192) == 2048
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            TensorParallelConfig(degree=3).shard(8192)
+
+    def test_degree_one_identity(self):
+        assert TensorParallelConfig(degree=1).shard(123) == 123
+
+
+class TestAllReduce:
+    def test_degree_one_is_free(self):
+        assert TensorParallelConfig(degree=1).allreduce_time(1 << 20) == 0.0
+
+    def test_allreduce_positive_and_monotone(self, gaudi):
+        tp = TensorParallelConfig.for_device(gaudi, 8)
+        small = tp.allreduce_time(1 << 16)
+        large = tp.allreduce_time(1 << 24)
+        assert 0 < small < large
+
+    def test_gaudi_allreduce_improves_with_degree(self, gaudi):
+        """The mesh delivers more bandwidth with more participants."""
+        t2 = TensorParallelConfig.for_device(gaudi, 2).allreduce_time(32 << 20)
+        t8 = TensorParallelConfig.for_device(gaudi, 8).allreduce_time(32 << 20)
+        assert t8 < t2

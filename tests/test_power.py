@@ -1,0 +1,113 @@
+"""Activity-based power and energy model."""
+
+import pytest
+
+from repro.hw.power import (
+    ActivityAccumulator,
+    ActivityProfile,
+    PowerModel,
+    PowerSample,
+)
+from repro.hw.spec import A100_SPEC, GAUDI2_SPEC
+
+
+@pytest.fixture(scope="module")
+def gaudi_power():
+    return PowerModel(GAUDI2_SPEC.power)
+
+
+@pytest.fixture(scope="module")
+def a100_power():
+    return PowerModel(A100_SPEC.power)
+
+
+class TestActivityProfile:
+    def test_defaults_are_idle(self):
+        profile = ActivityProfile()
+        assert profile.matrix_busy == 0.0
+        assert profile.comm_busy == 0.0
+
+    @pytest.mark.parametrize("field", ["matrix_busy", "vector_busy", "memory_util", "comm_busy"])
+    def test_out_of_range_raises(self, field):
+        with pytest.raises(ValueError):
+            ActivityProfile(**{field: 1.5})
+
+
+class TestPowerModel:
+    def test_idle_power(self, gaudi_power):
+        assert gaudi_power.power(ActivityProfile()) == GAUDI2_SPEC.power.idle_watts
+
+    def test_full_tilt_never_exceeds_tdp(self, gaudi_power, a100_power):
+        profile = ActivityProfile(
+            matrix_busy=1.0, vector_busy=1.0, memory_util=1.0, comm_busy=1.0
+        )
+        assert gaudi_power.power(profile) <= GAUDI2_SPEC.power.tdp_watts
+        assert a100_power.power(profile) <= A100_SPEC.power.tdp_watts
+        # The components sum close to the TDP budget.
+        assert gaudi_power.power(profile) >= 0.9 * GAUDI2_SPEC.power.tdp_watts
+
+    def test_power_gating_scales_matrix_term(self, gaudi_power):
+        full = gaudi_power.power(ActivityProfile(matrix_busy=0.5))
+        gated = gaudi_power.power(
+            ActivityProfile(matrix_busy=0.5, matrix_active_fraction=0.25)
+        )
+        assert gated < full
+
+    def test_a100_has_no_power_gating(self, a100_power):
+        full = a100_power.power(ActivityProfile(matrix_busy=0.5))
+        gated = a100_power.power(
+            ActivityProfile(matrix_busy=0.5, matrix_active_fraction=0.25)
+        )
+        assert gated == full
+
+    def test_energy_is_power_times_time(self, gaudi_power):
+        profile = ActivityProfile(memory_util=0.5)
+        assert gaudi_power.energy(profile, 2.0) == pytest.approx(
+            2.0 * gaudi_power.power(profile)
+        )
+
+    def test_negative_time_raises(self, gaudi_power):
+        with pytest.raises(ValueError):
+            gaudi_power.sample(ActivityProfile(), -1.0)
+
+    def test_sample_joules(self):
+        assert PowerSample(watts=100.0, seconds=3.0).joules == 300.0
+
+
+class TestAccumulator:
+    def test_profile_normalizes_by_wall_time(self):
+        acc = ActivityAccumulator()
+        acc.add_matrix(0.5)
+        acc.add_memory(1.0)
+        profile = acc.profile(2.0)
+        assert profile.matrix_busy == pytest.approx(0.25)
+        assert profile.memory_util == pytest.approx(0.5)
+
+    def test_active_fraction_is_work_weighted(self):
+        acc = ActivityAccumulator()
+        acc.add_matrix(1.0, active_fraction=1.0)
+        acc.add_matrix(1.0, active_fraction=0.5)
+        assert acc.profile(4.0).matrix_active_fraction == pytest.approx(0.75)
+
+    def test_busy_fractions_capped_at_one(self):
+        acc = ActivityAccumulator()
+        acc.add_vector(10.0)
+        assert acc.profile(1.0).vector_busy == 1.0
+
+    def test_merge(self):
+        a, b = ActivityAccumulator(), ActivityAccumulator()
+        a.add_memory(1.0)
+        b.add_memory(2.0)
+        b.add_comm(0.5)
+        a.merge(b)
+        assert a.memory_seconds == 3.0
+        assert a.comm_seconds == 0.5
+
+    def test_negative_work_raises(self):
+        acc = ActivityAccumulator()
+        with pytest.raises(ValueError):
+            acc.add_matrix(-1.0)
+
+    def test_zero_wall_time_raises(self):
+        with pytest.raises(ValueError):
+            ActivityAccumulator().profile(0.0)

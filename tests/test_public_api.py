@@ -1,0 +1,80 @@
+"""Public-API integrity: exports resolve, docstrings exist.
+
+Deliverable (e) of the reproduction: doc comments on every public item.
+These tests make that a build invariant rather than a hope.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+_PACKAGES = [
+    "repro",
+    "repro.hw",
+    "repro.tpc",
+    "repro.cuda",
+    "repro.comm",
+    "repro.graph",
+    "repro.kernels",
+    "repro.models",
+    "repro.serving",
+    "repro.core",
+    "repro.figures",
+    "repro.tools",
+]
+
+
+def _iter_modules():
+    for package_name in _PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__, package_name + "."):
+            yield importlib.import_module(info.name)
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", _PACKAGES)
+    def test_all_entries_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.__all__ lists {name!r}"
+
+    def test_top_level_quick_access(self):
+        assert repro.get_device("gaudi2").name == "Gaudi-2"
+        assert repro.DType.BF16.itemsize == 2
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__ for module in _iter_modules() if not module.__doc__
+        ]
+        assert not undocumented, f"modules without docstrings: {undocumented}"
+
+    def test_every_public_class_and_function_documented(self):
+        undocumented = []
+        for module in _iter_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if getattr(obj, "__module__", None) != module.__name__:
+                    continue  # re-export; documented at its home
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not inspect.getdoc(obj):
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+    def test_public_methods_documented_on_key_classes(self):
+        from repro.hw.device import Device
+        from repro.serving.engine import LlmServingEngine
+        from repro.tpc.builder import TpcKernelBuilder
+
+        for cls in (Device, LlmServingEngine, TpcKernelBuilder):
+            for name, member in inspect.getmembers(cls, inspect.isfunction):
+                if name.startswith("_"):
+                    continue
+                assert inspect.getdoc(member), f"{cls.__name__}.{name} lacks a docstring"

@@ -1,0 +1,44 @@
+"""Live paper-vs-measured markdown report."""
+
+import pytest
+
+from repro.figures.report_md import (
+    TRACKED_CLAIMS,
+    TrackedClaim,
+    all_claims_in_band,
+    collect_measurements,
+    experiments_markdown,
+)
+
+
+class TestTrackedClaims:
+    def test_every_claim_names_a_real_summary_key(self):
+        measured = collect_measurements(fast=True)
+        assert len(measured) == len(TRACKED_CLAIMS)
+
+    def test_all_claims_in_band_fast(self):
+        """The EXPERIMENTS.md calibration must hold on every run."""
+        assert all_claims_in_band(fast=True)
+
+    def test_band_check(self):
+        claim = TrackedClaim("x", "y", "d", 1.0, (0.5, 1.5))
+        assert claim.check(1.0)
+        assert not claim.check(2.0)
+
+    def test_claims_cover_every_evaluation_figure(self):
+        covered = {claim.figure_id for claim in TRACKED_CLAIMS}
+        assert covered >= {
+            "fig04", "fig05", "fig07", "fig08", "fig09", "fig10",
+            "fig11", "fig12", "fig13", "fig15", "fig17",
+        }
+
+
+class TestMarkdown:
+    def test_renders_table(self):
+        text = experiments_markdown(fast=True)
+        assert text.startswith("# Paper vs measured")
+        assert "| Figure |" in text
+        assert text.count("|") > 5 * len(TRACKED_CLAIMS)
+
+    def test_no_out_of_band_rows(self):
+        assert "**NO**" not in experiments_markdown(fast=True)

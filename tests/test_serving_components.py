@@ -1,0 +1,139 @@
+"""Requests, datasets, block tables, and the scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.serving.block_table import build_block_list, build_block_table
+from repro.serving.dataset import dynamic_sonnet_requests, fixed_length_requests
+from repro.serving.kv_cache import BlockManager
+from repro.serving.request import Request, RequestState
+from repro.serving.scheduler import ContinuousBatchingScheduler
+
+
+class TestRequest:
+    def test_lifecycle_and_metrics(self):
+        request = Request(request_id=0, input_tokens=10, output_tokens=3)
+        request.state = RequestState.RUNNING
+        request.record_token(1.0)
+        request.record_token(2.0)
+        request.record_token(4.0)
+        assert request.state is RequestState.FINISHED
+        assert request.ttft == 1.0
+        assert request.tpot == pytest.approx((4.0 - 1.0) / 2)
+
+    def test_single_token_tpot_zero(self):
+        request = Request(0, 10, 1, arrival_time=0.5)
+        request.state = RequestState.RUNNING
+        request.record_token(1.5)
+        assert request.ttft == 1.0
+        assert request.tpot == 0.0
+
+    def test_token_on_non_running_raises(self):
+        request = Request(0, 10, 1)
+        with pytest.raises(RuntimeError):
+            request.record_token(1.0)
+
+    def test_metrics_before_completion_raise(self):
+        request = Request(0, 10, 2)
+        with pytest.raises(RuntimeError):
+            _ = request.ttft
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            Request(0, 0, 5)
+
+
+class TestDatasets:
+    def test_fixed_length(self):
+        requests = fixed_length_requests(5, input_len=100, output_len=25)
+        assert len(requests) == 5
+        assert all(r.input_tokens == 100 and r.output_tokens == 25 for r in requests)
+
+    def test_dynamic_sonnet_deterministic(self):
+        a = dynamic_sonnet_requests(50, seed=3)
+        b = dynamic_sonnet_requests(50, seed=3)
+        assert [r.input_tokens for r in a] == [r.input_tokens for r in b]
+
+    def test_dynamic_sonnet_variability(self):
+        requests = dynamic_sonnet_requests(200, seed=1)
+        inputs = np.array([r.input_tokens for r in requests])
+        assert inputs.std() > 100          # wide spread
+        assert inputs.min() >= 64
+        assert inputs.max() <= 3072
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            dynamic_sonnet_requests(0)
+
+
+class TestBlockTables:
+    def test_block_table_padding(self):
+        table = build_block_table([[1, 2, 3], [4]])
+        assert table.table.shape == (2, 3)
+        assert table.padding_fraction == pytest.approx(2 / 6)
+        assert table.effectual_entries == 4
+
+    def test_block_list_flat(self):
+        blist = build_block_list([[1, 2, 3], [4]])
+        np.testing.assert_array_equal(blist.blocks, [1, 2, 3, 4])
+        np.testing.assert_array_equal(blist.request_offsets, [0, 3, 4])
+
+    def test_block_list_has_no_padding(self):
+        table = build_block_table([[1] * 8, [2]])
+        blist = build_block_list([[1] * 8, [2]])
+        assert blist.total_entries == table.effectual_entries
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(ValueError):
+            build_block_table([[1], []])
+        with pytest.raises(ValueError):
+            build_block_list([])
+
+
+class TestScheduler:
+    def _scheduler(self, max_batch=4, blocks=64):
+        return ContinuousBatchingScheduler(
+            BlockManager(num_blocks=blocks, block_size=128), max_decode_batch=max_batch
+        )
+
+    def test_admits_up_to_max_batch(self):
+        scheduler = self._scheduler(max_batch=2)
+        for i in range(4):
+            scheduler.submit(Request(i, 128, 8))
+        step = scheduler.step(0.0)
+        assert len(step.new_requests) == 2
+        assert len(scheduler.waiting) == 2
+
+    def test_admission_blocked_by_kv_capacity(self):
+        scheduler = self._scheduler(max_batch=8, blocks=2)
+        scheduler.submit(Request(0, 256, 8))   # takes both blocks
+        scheduler.submit(Request(1, 128, 8))
+        step = scheduler.step(0.0)
+        assert [r.request_id for r in step.new_requests] == [0]
+
+    def test_finished_requests_release_blocks(self):
+        scheduler = self._scheduler(max_batch=1, blocks=1)
+        first = Request(0, 128, 1)
+        scheduler.submit(first)
+        scheduler.submit(Request(1, 128, 1))
+        scheduler.step(0.0)
+        first.record_token(1.0)  # finishes
+        step = scheduler.step(1.0)
+        assert [r.request_id for r in step.new_requests] == [1]
+
+    def test_respects_arrival_times(self):
+        scheduler = self._scheduler()
+        scheduler.submit(Request(0, 128, 4, arrival_time=5.0))
+        assert not scheduler.step(0.0).has_work
+        assert scheduler.step(5.0).new_requests
+
+    def test_submit_running_request_rejected(self):
+        scheduler = self._scheduler()
+        request = Request(0, 128, 4)
+        request.state = RequestState.RUNNING
+        with pytest.raises(ValueError):
+            scheduler.submit(request)
+
+    def test_invalid_max_batch(self):
+        with pytest.raises(ValueError):
+            ContinuousBatchingScheduler(BlockManager(4, 128), 0)

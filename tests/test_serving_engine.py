@@ -1,0 +1,109 @@
+"""End-to-end LLM serving engine (Figure 17(d, e))."""
+
+import pytest
+
+from repro.models.llama import DecodeAttention, LLAMA_3_1_8B, LlamaCostModel
+from repro.serving import (
+    LlmServingEngine,
+    RecSysServer,
+    dynamic_sonnet_requests,
+    fixed_length_requests,
+)
+from repro.models.dlrm import DlrmCostModel, RM2_CONFIG
+
+
+def _engine(device, attention=DecodeAttention.PAGED_OPT, max_batch=16):
+    return LlmServingEngine(
+        LlamaCostModel(LLAMA_3_1_8B, device), attention, max_decode_batch=max_batch
+    )
+
+
+class TestServingRun:
+    def test_all_requests_complete(self, gaudi):
+        requests = fixed_length_requests(8, 100, 10)
+        report = _engine(gaudi).run(requests)
+        assert report.num_requests == 8
+        assert report.total_output_tokens == 80
+        assert all(r.done for r in requests)
+
+    def test_metrics_positive(self, gaudi):
+        report = _engine(gaudi).run(fixed_length_requests(4, 100, 10))
+        assert report.total_time > 0
+        assert report.mean_ttft > 0
+        assert report.mean_tpot > 0
+        assert report.throughput_tokens_per_s > 0
+        assert report.average_power > 0
+        assert report.energy_per_token > 0
+
+    def test_empty_request_list_rejected(self, gaudi):
+        with pytest.raises(ValueError):
+            _engine(gaudi).run([])
+
+    def test_later_arrivals_wait(self, gaudi):
+        requests = fixed_length_requests(2, 100, 5)
+        requests[1].arrival_time = 100.0
+        report = _engine(gaudi).run(requests)
+        assert report.total_time > 100.0
+        assert requests[1].ttft < requests[1].first_token_time
+
+    def test_deterministic(self, gaudi):
+        r1 = _engine(gaudi).run(dynamic_sonnet_requests(12, seed=5))
+        r2 = _engine(gaudi).run(dynamic_sonnet_requests(12, seed=5))
+        assert r1.total_time == pytest.approx(r2.total_time)
+
+
+class TestBatchSizeSweep:
+    """Figure 17(d, e) shapes."""
+
+    def test_throughput_improves_with_batch(self, gaudi):
+        requests = lambda: dynamic_sonnet_requests(32, seed=2)
+        small = _engine(gaudi, max_batch=2).run(requests())
+        large = _engine(gaudi, max_batch=32).run(requests())
+        assert large.throughput_tokens_per_s > 1.5 * small.throughput_tokens_per_s
+
+    def test_tpot_grows_with_batch(self, gaudi):
+        requests = lambda: dynamic_sonnet_requests(32, seed=2)
+        small = _engine(gaudi, max_batch=2).run(requests())
+        large = _engine(gaudi, max_batch=32).run(requests())
+        assert large.mean_tpot > small.mean_tpot
+
+    def test_opt_attention_beats_base_end_to_end(self, gaudi):
+        requests = lambda: dynamic_sonnet_requests(16, seed=3)
+        opt = _engine(gaudi, DecodeAttention.PAGED_OPT).run(requests())
+        base = _engine(gaudi, DecodeAttention.PAGED_BASE).run(requests())
+        assert opt.throughput_tokens_per_s > base.throughput_tokens_per_s
+
+    def test_gaudi_competitive_with_a100_end_to_end(self, gaudi, a100):
+        """Paper: vLLM_opt Gaudi-2 shows comparable e2e throughput."""
+        rg = _engine(gaudi, DecodeAttention.PAGED_OPT).run(
+            dynamic_sonnet_requests(24, seed=4)
+        )
+        ra = LlmServingEngine(
+            LlamaCostModel(LLAMA_3_1_8B, a100), DecodeAttention.PAGED_CUDA,
+            max_decode_batch=16,
+        ).run(dynamic_sonnet_requests(24, seed=4))
+        ratio = rg.throughput_tokens_per_s / ra.throughput_tokens_per_s
+        assert 0.8 < ratio < 1.6
+
+
+class TestPreemption:
+    def test_preempts_when_kv_pool_tiny(self, gaudi):
+        engine = LlmServingEngine(
+            LlamaCostModel(LLAMA_3_1_8B, gaudi),
+            DecodeAttention.PAGED_OPT,
+            max_decode_batch=8,
+            num_kv_blocks=24,   # deliberately tiny pool
+        )
+        requests = fixed_length_requests(8, 256, 200)
+        report = engine.run(requests)
+        assert report.preemptions > 0
+        assert all(r.done for r in requests)
+
+
+class TestRecSysServer:
+    def test_report_fields(self, gaudi):
+        server = RecSysServer(DlrmCostModel(RM2_CONFIG, gaudi))
+        report = server.serve_batch(2048)
+        assert report.batch == 2048
+        assert report.requests_per_s == pytest.approx(2048 / report.latency)
+        assert report.energy_per_request > 0

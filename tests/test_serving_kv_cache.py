@@ -1,0 +1,91 @@
+"""Paged KV-cache block manager."""
+
+import pytest
+
+from repro.serving.kv_cache import BlockManager, KvCacheError
+
+
+@pytest.fixture()
+def manager():
+    return BlockManager(num_blocks=16, block_size=128)
+
+
+class TestAllocation:
+    def test_blocks_needed_rounds_up(self, manager):
+        assert manager.blocks_needed(1) == 1
+        assert manager.blocks_needed(128) == 1
+        assert manager.blocks_needed(129) == 2
+
+    def test_allocate_and_free_roundtrip(self, manager):
+        blocks = manager.allocate(1, 300)
+        assert len(blocks) == 3
+        assert manager.free_blocks == 13
+        manager.free(1)
+        assert manager.free_blocks == 16
+
+    def test_double_allocation_rejected(self, manager):
+        manager.allocate(1, 100)
+        with pytest.raises(KvCacheError, match="already"):
+            manager.allocate(1, 100)
+
+    def test_exhaustion_raises(self, manager):
+        manager.allocate(1, 15 * 128)
+        with pytest.raises(KvCacheError, match="out of KV blocks"):
+            manager.allocate(2, 3 * 128)
+
+    def test_can_allocate_predicts(self, manager):
+        assert manager.can_allocate(16 * 128)
+        assert not manager.can_allocate(17 * 128)
+
+    def test_free_unknown_request_raises(self, manager):
+        with pytest.raises(KvCacheError):
+            manager.free(99)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BlockManager(0, 128)
+
+
+class TestAppend:
+    def test_append_within_block_allocates_nothing(self, manager):
+        manager.allocate(1, 100)
+        assert manager.append_token(1) is False
+        assert manager.free_blocks == 15
+
+    def test_append_crossing_block_boundary(self, manager):
+        manager.allocate(1, 128)
+        assert manager.append_token(1) is True
+        assert manager.free_blocks == 14
+
+    def test_append_without_allocation_raises(self, manager):
+        with pytest.raises(KvCacheError):
+            manager.append_token(5)
+
+    def test_append_exhaustion_raises(self):
+        manager = BlockManager(num_blocks=1, block_size=4)
+        manager.allocate(1, 4)
+        with pytest.raises(KvCacheError, match="during decode"):
+            manager.append_token(1)
+
+
+class TestStats:
+    def test_occupancy_and_fragmentation(self, manager):
+        manager.allocate(1, 129)  # 2 blocks, 129 tokens of 256 slots
+        stats = manager.stats()
+        assert stats.allocated_blocks == 2
+        assert stats.occupancy == pytest.approx(2 / 16)
+        assert stats.internal_fragmentation == pytest.approx(1 - 129 / 256)
+
+    def test_paged_fragmentation_bounded_by_one_block(self, manager):
+        """The PagedAttention claim: waste < one block per request."""
+        for rid, tokens in enumerate([129, 200, 300]):
+            manager.allocate(rid, tokens)
+        stats = manager.stats()
+        wasted_tokens = stats.allocated_blocks * 128 - stats.used_tokens
+        assert wasted_tokens < 3 * 128
+
+    def test_block_list_is_copy(self, manager):
+        manager.allocate(1, 200)
+        listed = manager.block_list(1)
+        listed.append(999)
+        assert manager.block_list(1) != listed

@@ -1,0 +1,108 @@
+"""Output-stationary systolic array model."""
+
+import pytest
+
+from repro.hw.systolic import (
+    SystolicArray,
+    SystolicGeometry,
+    best_geometry,
+    blocked_gemm_traffic,
+)
+
+
+class TestGeometry:
+    def test_active_macs(self):
+        assert SystolicGeometry(256, 256, 2).active_macs == 131072
+        assert SystolicGeometry(128, 128).active_macs == 16384
+
+    def test_label(self):
+        assert SystolicGeometry(512, 256).label == "512x256"
+        assert SystolicGeometry(256, 256, 2).label == "256x256x2"
+
+    @pytest.mark.parametrize("h,w,e", [(0, 1, 1), (1, 0, 1), (1, 1, 0), (-4, 4, 1)])
+    def test_invalid_geometry_raises(self, h, w, e):
+        with pytest.raises(ValueError):
+            SystolicGeometry(h, w, e)
+
+
+class TestTiming:
+    def test_single_tile_cycles(self):
+        array = SystolicArray(SystolicGeometry(256, 256), clock_hz=1.0)
+        timing = array.gemm_timing(256, 1024, 256)
+        assert timing.tiles == 1
+        assert timing.passes == 1
+        assert timing.cycles == 1024 + 512  # K + fill
+
+    def test_tiles_quantize_up(self):
+        array = SystolicArray(SystolicGeometry(256, 256), clock_hz=1.0)
+        assert array.gemm_timing(257, 128, 256).tiles == 2
+
+    def test_two_engines_halve_passes(self):
+        one = SystolicArray(SystolicGeometry(256, 256, 1), 1.0).gemm_timing(1024, 512, 1024)
+        two = SystolicArray(SystolicGeometry(256, 256, 2), 1.0).gemm_timing(1024, 512, 1024)
+        assert two.passes == one.passes / 2
+
+    def test_time_scales_with_clock(self):
+        geo = SystolicGeometry(256, 256)
+        slow = SystolicArray(geo, clock_hz=1e9).gemm_time(512, 512, 512)
+        fast = SystolicArray(geo, clock_hz=2e9).gemm_time(512, 512, 512)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_invalid_dims_raise(self):
+        array = SystolicArray(SystolicGeometry(64, 64), 1.0)
+        with pytest.raises(ValueError):
+            array.gemm_timing(0, 64, 64)
+
+
+class TestUtilization:
+    def test_perfectly_aligned_large_k_near_one(self):
+        array = SystolicArray(SystolicGeometry(256, 256, 2), 1.0)
+        util = array.utilization(256, 10**6, 512, total_macs=131072)
+        assert util == pytest.approx(1.0, abs=0.01)
+
+    def test_partial_tile_wastes_macs(self):
+        array = SystolicArray(SystolicGeometry(256, 256), 1.0)
+        full = array.utilization(256, 8192, 256, total_macs=65536)
+        partial = array.utilization(129, 8192, 256, total_macs=65536)
+        assert partial < 0.55 * full
+
+    def test_power_gated_geometry_bounded_by_active_fraction(self):
+        array = SystolicArray(SystolicGeometry(128, 128), 1.0)
+        util = array.utilization(128, 10**6, 128, total_macs=131072)
+        assert util <= 128 * 128 / 131072 + 1e-9
+
+
+class TestBestGeometry:
+    def test_picks_matching_shape(self):
+        geometries = [SystolicGeometry(256, 256, 2), SystolicGeometry(1024, 128)]
+        geo, _ = best_geometry(geometries, m=1024, k=4096, n=128)
+        assert geo.label == "1024x128"
+
+    def test_tie_breaks_toward_fewer_macs(self):
+        geometries = [SystolicGeometry(256, 256, 2), SystolicGeometry(64, 64)]
+        # Tiny GEMM: both do one pass over K, same cycles modulo fill;
+        # the smaller fill actually wins here, but for an exact tie the
+        # gated config must be preferred.
+        geo, _ = best_geometry([SystolicGeometry(64, 64), SystolicGeometry(64, 64, 2)], 32, 128, 32)
+        assert geo.engines == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_geometry([], 1, 1, 1)
+
+
+class TestBlockedTraffic:
+    def test_small_gemm_reads_operands_once(self):
+        # Everything fits through SRAM: A + B read once, C written once.
+        traffic = blocked_gemm_traffic(1024, 1024, 1024, 2, sram_bytes=48 << 20)
+        assert traffic == pytest.approx(2 * 3 * 1024 * 1024)
+
+    def test_huge_gemm_rereads_operands(self):
+        small_sram = blocked_gemm_traffic(65536, 1024, 65536, 2, sram_bytes=1 << 20)
+        big_sram = blocked_gemm_traffic(65536, 1024, 65536, 2, sram_bytes=48 << 20)
+        assert small_sram > big_sram
+
+    def test_monotone_in_dimensions(self):
+        base = blocked_gemm_traffic(1024, 1024, 1024, 2, 48 << 20)
+        bigger = blocked_gemm_traffic(2048, 1024, 1024, 2, 48 << 20)
+        assert bigger > base

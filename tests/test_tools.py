@@ -1,0 +1,94 @@
+"""Profiler and smi tooling analogs."""
+
+import json
+
+import pytest
+
+from repro.graph import Engine, Graph, GraphCompiler
+from repro.hw.device import Gaudi2Device
+from repro.hw.power import ActivityProfile
+from repro.hw.spec import A100_SPEC, GAUDI2_SPEC
+from repro.tools import GaudiProfiler, chrome_trace, hl_smi, nvidia_smi
+
+
+def _compiled_graph():
+    g = Graph("layer")
+    gemm = g.add_op("gemm", Engine.MME, 100e-6, 1e6, 1e6, sliceable=True)
+    g.add_op("act", Engine.TPC, 40e-6, 1e6, 1e6, inputs=[gemm],
+             fusable=True, sliceable=True)
+    return GraphCompiler().compile(g)
+
+
+class TestProfiler:
+    def test_profile_captures_timeline(self):
+        report = GaudiProfiler().profile(_compiled_graph())
+        assert report.op_count >= 1
+        assert report.total_us > 0
+        assert report.ops[0].start_us == 0.0
+
+    def test_occupancy_fractions(self):
+        report = GaudiProfiler().profile(_compiled_graph())
+        assert 0 < report.occupancy(Engine.MME) <= 1
+        assert 0 < report.occupancy(Engine.TPC) <= 1
+
+    def test_reverse_engineer_recovers_figure7a(self):
+        """The Section 3.2 methodology: the geometry map per (M, N)."""
+        profiler = GaudiProfiler()
+        records = profiler.reverse_engineer_mme(
+            m_sizes=(64, 1024, 16384), n_sizes=(64, 1024, 16384)
+        )
+        assert len(records) == 9
+        by_shape = {(r["m"], r["n"]): r for r in records}
+        # Small shapes power gate, big squares use the full pair,
+        # skinny shapes pick elongated geometries.
+        assert by_shape[(64, 64)]["power_gated"]
+        assert by_shape[(16384, 16384)]["geometry"] == "256x256x2"
+        tall = by_shape[(16384, 64)]["geometry"]
+        height, width = tall.split("x")[0:2]
+        assert int(height) > int(width)
+
+    def test_geometry_map_groups(self):
+        grouped = GaudiProfiler().geometry_map((64, 16384), (64, 16384))
+        assert sum(len(points) for points in grouped.values()) == 4
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            GaudiProfiler().reverse_engineer_mme((), (64,))
+
+
+class TestChromeTrace:
+    def test_valid_json_with_events(self):
+        report = GaudiProfiler().profile(_compiled_graph())
+        trace = json.loads(chrome_trace(report))
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert "X" in phases and "M" in phases
+
+    def test_pipelined_ops_appear_on_both_engines(self):
+        report = GaudiProfiler().profile(_compiled_graph())
+        trace = json.loads(chrome_trace(report))
+        duration_events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        tids = {e["tid"] for e in duration_events}
+        assert {1, 2} <= tids  # MME and TPC rows both populated
+
+
+class TestSmi:
+    def test_hl_smi_reads_gaudi(self):
+        sample = hl_smi(ActivityProfile(memory_util=0.8))
+        assert sample.device == "Gaudi-2"
+        assert sample.power_limit_watts == 600
+        assert GAUDI2_SPEC.power.idle_watts < sample.power_watts < 600
+
+    def test_nvidia_smi_reads_a100(self):
+        sample = nvidia_smi(ActivityProfile(matrix_busy=0.5))
+        assert sample.device == "A100"
+        assert sample.power_limit_watts == 400
+
+    def test_vendor_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hl_smi(ActivityProfile(), spec=A100_SPEC)
+        with pytest.raises(ValueError):
+            nvidia_smi(ActivityProfile(), spec=GAUDI2_SPEC)
+
+    def test_render_one_liner(self):
+        text = hl_smi(ActivityProfile(memory_util=0.5)).render()
+        assert "Gaudi-2" in text and "W" in text

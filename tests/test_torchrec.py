@@ -1,0 +1,65 @@
+"""TorchRec-style multi-device RecSys (and the Gaudi feature gap)."""
+
+import pytest
+
+from repro.models.dlrm import RM1_CONFIG, RM2_CONFIG, DlrmCostModel
+from repro.models.torchrec import (
+    MultiDeviceUnsupportedError,
+    TorchRecShardedDlrm,
+    gaudi_multi_device_recsys,
+)
+
+
+class TestFeatureGap:
+    def test_gaudi_multi_device_unsupported(self, gaudi):
+        """Section 3.5: the Gaudi SDK has no TorchRec backend."""
+        with pytest.raises(MultiDeviceUnsupportedError, match="TorchRec"):
+            TorchRecShardedDlrm(RM2_CONFIG, gaudi, num_devices=4)
+
+    def test_helper_raises_with_context(self):
+        with pytest.raises(MultiDeviceUnsupportedError, match="single device"):
+            gaudi_multi_device_recsys(RM1_CONFIG, 8)
+
+    def test_unknown_device_type(self):
+        with pytest.raises(TypeError):
+            TorchRecShardedDlrm(RM2_CONFIG, object(), num_devices=4)
+
+
+class TestShardedForward:
+    def test_breakdown_structure(self, a100):
+        sharded = TorchRecShardedDlrm(RM2_CONFIG, a100, num_devices=4)
+        estimate = sharded.forward(global_batch=8192)
+        assert set(estimate.breakdown) == {
+            "sharded_embedding", "alltoall", "bottom_mlp", "interaction", "top_mlp"
+        }
+        assert estimate.time == pytest.approx(sum(estimate.breakdown.values()))
+
+    def test_table_wise_sharding_counts(self, a100):
+        sharded = TorchRecShardedDlrm(RM2_CONFIG, a100, num_devices=8)
+        assert sharded.local_tables == RM2_CONFIG.num_tables // 8 + (
+            1 if RM2_CONFIG.num_tables % 8 else 0
+        )
+
+    def test_scaling_beats_single_device(self, a100):
+        """The point of TorchRec: a node outpaces one GPU."""
+        single = DlrmCostModel(RM2_CONFIG, a100).forward(8192)
+        sharded = TorchRecShardedDlrm(RM2_CONFIG, a100, num_devices=8).forward(8192)
+        assert sharded.requests_per_second > 2 * single.requests_per_second
+
+    def test_throughput_scales_with_devices(self, a100):
+        two = TorchRecShardedDlrm(RM2_CONFIG, a100, num_devices=2).forward(8192)
+        eight = TorchRecShardedDlrm(RM2_CONFIG, a100, num_devices=8).forward(8192)
+        assert eight.requests_per_second > two.requests_per_second
+
+    def test_node_energy_counts_all_devices(self, a100):
+        estimate = TorchRecShardedDlrm(RM2_CONFIG, a100, num_devices=4).forward(4096)
+        assert estimate.node_energy_joules == pytest.approx(
+            4 * estimate.average_power_per_device * estimate.time
+        )
+
+    def test_invalid_inputs(self, a100):
+        with pytest.raises(ValueError):
+            TorchRecShardedDlrm(RM2_CONFIG, a100, num_devices=1)
+        sharded = TorchRecShardedDlrm(RM2_CONFIG, a100, num_devices=4)
+        with pytest.raises(ValueError):
+            sharded.forward(global_batch=2)

@@ -1,0 +1,120 @@
+"""TPC kernel-builder DSL (unrolling, scheduling, register renaming)."""
+
+import pytest
+
+from repro.tpc.builder import MAX_ACCESS_BYTES, TpcKernelBuilder, VECTOR_REGISTER_FILE
+from repro.tpc.isa import Opcode, Slot
+
+
+def _add_body(b):
+    x = b.load_tensor("a")
+    y = b.load_tensor("b")
+    r = b.vec(Opcode.ADD, x, y)
+    b.store_tensor("c", r)
+
+
+class TestEmission:
+    def test_body_instruction_count(self):
+        kernel = TpcKernelBuilder("add").build_loop(_add_body, iterations=100)
+        # 2 loads + 1 add + 1 store + loop_end
+        assert len(kernel.body) == 5
+
+    def test_unroll_replicates_body(self):
+        kernel = TpcKernelBuilder("add").build_loop(_add_body, iterations=100, unroll=4)
+        assert len(kernel.body) == 4 * 4 + 1
+
+    def test_trip_count_divided_by_unroll(self):
+        kernel = TpcKernelBuilder("add").build_loop(_add_body, iterations=100, unroll=4)
+        assert kernel.trips == 25
+
+    def test_trip_count_rounds_up(self):
+        kernel = TpcKernelBuilder("add").build_loop(_add_body, iterations=101, unroll=4)
+        assert kernel.trips == 26
+
+    def test_wide_load_splits_into_256b_chunks(self):
+        def body(b):
+            x = b.load_tensor("a", access_bytes=1024)
+            b.store_tensor("c", x, access_bytes=1024)
+
+        kernel = TpcKernelBuilder("wide").build_loop(body, iterations=1)
+        loads = [i for i in kernel.body if i.opcode is Opcode.LD_TNSR]
+        assert len(loads) == 4
+        assert all(i.access_bytes == MAX_ACCESS_BYTES for i in loads)
+
+    def test_num_streams_counts_distinct_tensors(self):
+        kernel = TpcKernelBuilder("add").build_loop(_add_body, iterations=1)
+        assert kernel.num_streams == 3
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            TpcKernelBuilder("x").build_loop(_add_body, iterations=0)
+        with pytest.raises(ValueError):
+            TpcKernelBuilder("x").build_loop(_add_body, iterations=1, unroll=0)
+
+    def test_invalid_access_bytes_raise(self):
+        builder = TpcKernelBuilder("x")
+        with pytest.raises(ValueError):
+            builder.load_tensor("a", access_bytes=0)
+        with pytest.raises(ValueError):
+            builder.gather("a", access_bytes=-1)
+
+
+class TestScheduling:
+    def test_loads_hoisted_before_arithmetic(self):
+        kernel = TpcKernelBuilder("add").build_loop(_add_body, iterations=1, unroll=2)
+        slots = [i.slot for i in kernel.body[:-1]]
+        first_vector = slots.index(Slot.VECTOR)
+        assert all(s is Slot.LOAD for s in slots[:first_vector])
+
+    def test_stores_sunk_after_arithmetic(self):
+        kernel = TpcKernelBuilder("add").build_loop(_add_body, iterations=1, unroll=2)
+        slots = [i.slot for i in kernel.body[:-1]]
+        first_store = slots.index(Slot.STORE)
+        assert all(s is Slot.STORE for s in slots[first_store:])
+
+    def test_arithmetic_interleaved_across_copies(self):
+        """Chained ops from different unroll copies must alternate so
+        independent chains hide the 4-cycle latency."""
+
+        def chain_body(b):
+            x = b.load_tensor("a")
+            acc = b.vec(Opcode.ADD, x, x)
+            acc = b.vec(Opcode.ADD, acc, acc)
+            b.store_tensor("c", acc)
+
+        kernel = TpcKernelBuilder("chain").build_loop(chain_body, iterations=1, unroll=2)
+        adds = [i for i in kernel.body if i.opcode is Opcode.ADD]
+        # first adds of both copies come before second adds of either
+        assert adds[0].sources != adds[1].sources
+        assert adds[0].dest in adds[2].sources or adds[1].dest in adds[2].sources
+
+    def test_loop_end_is_last(self):
+        kernel = TpcKernelBuilder("add").build_loop(_add_body, iterations=1, unroll=3)
+        assert kernel.body[-1].opcode is Opcode.LOOP_END
+
+
+class TestRegisterRenaming:
+    def test_unroll_copies_use_distinct_registers(self):
+        kernel = TpcKernelBuilder("add").build_loop(_add_body, iterations=1, unroll=2)
+        dests = [i.dest for i in kernel.body if i.dest is not None]
+        assert len(set(dests)) == len(dests)
+
+    def test_register_file_wraparound(self):
+        """Unrolling past the register file reuses registers."""
+
+        def body(b):
+            x = b.load_tensor("a")
+            b.store_tensor("c", x)
+
+        kernel = TpcKernelBuilder("spill").build_loop(
+            body, iterations=1, unroll=VECTOR_REGISTER_FILE + 5
+        )
+        dests = [i.dest for i in kernel.body if i.dest is not None]
+        assert len(set(dests)) == VECTOR_REGISTER_FILE
+
+    def test_gather_has_no_destination_register(self):
+        def body(b):
+            b.gather("table", access_bytes=256)
+
+        kernel = TpcKernelBuilder("g").build_loop(body, iterations=1)
+        assert kernel.body[0].dest is None

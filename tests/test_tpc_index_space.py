@@ -1,0 +1,78 @@
+"""TPC index-space partitioning (Figure 3)."""
+
+import pytest
+
+from repro.tpc.index_space import IndexSpace, partition_members
+
+
+class TestIndexSpace:
+    def test_num_members(self):
+        assert IndexSpace([4, 6]).num_members == 24
+
+    def test_max_five_dims(self):
+        IndexSpace([1, 1, 1, 1, 1])
+        with pytest.raises(ValueError):
+            IndexSpace([1] * 6)
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValueError):
+            IndexSpace([])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            IndexSpace([4, -1])
+
+    def test_steps_default_to_one(self):
+        assert IndexSpace([3, 3]).elements_per_member == 1
+
+    def test_steps_give_elements_per_member(self):
+        # Figure 2(c): a 256 B FP32 vector covers 64 elements per step.
+        space = IndexSpace([10, 4], steps=[64, 1])
+        assert space.elements_per_member == 64
+
+    def test_step_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IndexSpace([4, 4], steps=[1])
+
+    def test_members_enumerate_all_coords(self):
+        space = IndexSpace([2, 3])
+        members = list(space.members())
+        assert len(members) == 6
+        assert members[0].coords == (0, 0)
+        assert members[-1].coords == (1, 2)
+        assert members[3][0] == 1  # row-major order
+
+    def test_for_elements_covers_array(self):
+        space = IndexSpace.for_elements(24_000_000, elements_per_member=64, width=4)
+        assert space.num_members * 64 >= 24_000_000
+
+    def test_for_elements_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            IndexSpace.for_elements(0, 64)
+
+    def test_repr(self):
+        assert "sizes=(2, 3)" in repr(IndexSpace([2, 3]))
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_members(48, 24) == [2] * 24
+
+    def test_remainder_spread_round_robin(self):
+        counts = partition_members(50, 24)
+        assert sum(counts) == 50
+        assert max(counts) - min(counts) == 1
+
+    def test_fewer_members_than_tpcs(self):
+        counts = partition_members(5, 24)
+        assert counts.count(1) == 5
+        assert counts.count(0) == 19
+
+    def test_zero_members_ok(self):
+        assert partition_members(0, 4) == [0, 0, 0, 0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            partition_members(-1, 4)
+        with pytest.raises(ValueError):
+            partition_members(4, 0)

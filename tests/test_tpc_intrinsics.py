@@ -1,0 +1,72 @@
+"""Functional semantics of the TPC intrinsics."""
+
+import numpy as np
+import pytest
+
+from repro.tpc import intrinsics
+
+
+class TestArithmetic:
+    def test_add(self):
+        np.testing.assert_allclose(
+            intrinsics.v_add(np.array([1.0, 2.0]), np.array([3.0, 4.0])),
+            [4.0, 6.0],
+        )
+
+    def test_mul(self):
+        np.testing.assert_allclose(
+            intrinsics.v_mul(np.array([2.0, 3.0]), np.float32(3.0)), [6.0, 9.0]
+        )
+
+    def test_mac_is_fused_multiply_accumulate(self):
+        acc = np.array([1.0, 1.0])
+        out = intrinsics.v_mac(acc, np.array([2.0, 3.0]), np.array([4.0, 5.0]))
+        np.testing.assert_allclose(out, [9.0, 16.0])
+
+    def test_max_min(self):
+        a, b = np.array([1.0, 5.0]), np.array([3.0, 2.0])
+        np.testing.assert_allclose(intrinsics.v_max(a, b), [3.0, 5.0])
+        np.testing.assert_allclose(intrinsics.v_min(a, b), [1.0, 2.0])
+
+    def test_exp_recip(self):
+        np.testing.assert_allclose(intrinsics.v_exp(np.array([0.0])), [1.0])
+        np.testing.assert_allclose(intrinsics.v_recip(np.array([4.0])), [0.25])
+
+
+class TestBf16:
+    def test_bf16_truncates_mantissa(self):
+        value = np.array([1.0 + 2**-12], dtype=np.float32)
+        truncated = intrinsics.as_bf16(value)
+        assert truncated[0] == 1.0
+
+    def test_bf16_preserves_representable_values(self):
+        values = np.array([1.0, -2.0, 0.5, 256.0], dtype=np.float32)
+        np.testing.assert_array_equal(intrinsics.as_bf16(values), values)
+
+    def test_bf16_relative_error_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000).astype(np.float32)
+        truncated = intrinsics.as_bf16(values)
+        rel = np.abs(truncated - values) / np.maximum(np.abs(values), 1e-30)
+        assert rel.max() < 2**-7
+
+
+class TestGatherScatter:
+    def test_gather_rows(self):
+        table = np.arange(12.0).reshape(4, 3)
+        out = intrinsics.v_gather(table, np.array([2, 0]))
+        np.testing.assert_allclose(out, [[6, 7, 8], [0, 1, 2]])
+
+    def test_gather_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            intrinsics.v_gather(np.zeros((4, 3)), np.array([4]))
+
+    def test_scatter_last_write_wins(self):
+        target = np.zeros((3, 2))
+        out = intrinsics.v_scatter(target, np.array([1, 1]), np.array([[1.0, 1.0], [2.0, 2.0]]))
+        np.testing.assert_allclose(out[1], [2.0, 2.0])
+
+    def test_scatter_does_not_mutate_input(self):
+        target = np.zeros((2, 2))
+        intrinsics.v_scatter(target, np.array([0]), np.array([[5.0, 5.0]]))
+        assert target.sum() == 0.0

@@ -1,0 +1,64 @@
+"""TPC instruction-set model."""
+
+import pytest
+
+from repro.hw.spec import DType
+from repro.tpc.isa import ARCH_LATENCY, Instruction, MemoryKind, Opcode, Slot
+
+
+class TestSlots:
+    def test_loads_use_load_slot(self):
+        assert Instruction(Opcode.LD_TNSR, dest="v0", access_bytes=256).slot is Slot.LOAD
+        assert Instruction(Opcode.LD_G, access_bytes=256).slot is Slot.LOAD
+
+    def test_stores_use_store_slot(self):
+        assert Instruction(Opcode.ST_TNSR, sources=("v0",), access_bytes=256).slot is Slot.STORE
+
+    def test_arithmetic_uses_vector_slot(self):
+        for op in (Opcode.ADD, Opcode.MUL, Opcode.MAC, Opcode.EXP):
+            assert Instruction(op, dest="v0").slot is Slot.VECTOR
+
+    def test_scalar_ops_use_scalar_slot(self):
+        assert Instruction(Opcode.S_ADD, dest="s0").slot is Slot.SCALAR
+        assert Instruction(Opcode.LOOP_END).slot is Slot.SCALAR
+
+
+class TestMemoryKinds:
+    def test_stream_vs_random(self):
+        assert Instruction(Opcode.LD_TNSR, access_bytes=256).memory_kind is MemoryKind.STREAM_LOAD
+        assert Instruction(Opcode.LD_G, access_bytes=256).memory_kind is MemoryKind.RANDOM_LOAD
+        assert Instruction(Opcode.ST_G, access_bytes=64).memory_kind is MemoryKind.RANDOM_STORE
+
+    def test_alu_has_no_memory_kind(self):
+        assert Instruction(Opcode.ADD, dest="v0").memory_kind is MemoryKind.NONE
+
+    def test_is_load_is_store(self):
+        assert Instruction(Opcode.LD_G, access_bytes=64).is_load
+        assert Instruction(Opcode.ST_TNSR, access_bytes=64).is_store
+        assert not Instruction(Opcode.ADD, dest="v0").is_load
+
+
+class TestFlops:
+    def test_mac_counts_two_flops_per_lane(self):
+        mac = Instruction(Opcode.MAC, dest="v0", dtype=DType.BF16)
+        add = Instruction(Opcode.ADD, dest="v0", dtype=DType.BF16)
+        assert mac.flops == 2 * add.flops
+
+    def test_bf16_has_128_lanes(self):
+        assert Instruction(Opcode.ADD, dest="v0", dtype=DType.BF16).flops == 128
+
+    def test_fp32_has_64_lanes(self):
+        assert Instruction(Opcode.ADD, dest="v0", dtype=DType.FP32).flops == 64
+
+    def test_moves_are_free(self):
+        assert Instruction(Opcode.MOV, dest="v0").flops == 0
+        assert Instruction(Opcode.LD_TNSR, dest="v0", access_bytes=256).flops == 0
+
+
+class TestDefaults:
+    def test_default_latency_is_architectural(self):
+        assert Instruction(Opcode.ADD, dest="v0").latency == ARCH_LATENCY == 4
+
+    def test_str_mentions_opcode_and_slot(self):
+        text = str(Instruction(Opcode.MAC, dest="v2", sources=("v0", "v1")))
+        assert "mac" in text and "vector" in text

@@ -1,0 +1,82 @@
+"""Per-TPC local memories (1 KB scalar, 80 KB vector)."""
+
+import pytest
+
+from repro.tpc.local_memory import LocalMemory, LocalMemoryError
+
+
+class TestCapacities:
+    def test_scalar_is_1kb(self):
+        assert LocalMemory.scalar().capacity == 1024
+
+    def test_vector_is_80kb(self):
+        assert LocalMemory.vector().capacity == 80 * 1024
+
+    def test_alignments(self):
+        assert LocalMemory.scalar().alignment == 4
+        assert LocalMemory.vector().alignment == 128
+
+
+class TestAllocation:
+    def test_allocations_are_aligned(self):
+        mem = LocalMemory.vector()
+        mem.allocate("a", 100)          # rounds to 128
+        assert mem.allocate("b", 128) == 128
+
+    def test_overflow_raises(self):
+        mem = LocalMemory.scalar()
+        mem.allocate("a", 1000)
+        with pytest.raises(LocalMemoryError, match="overflow"):
+            mem.allocate("b", 100)
+
+    def test_duplicate_label_raises(self):
+        mem = LocalMemory.vector()
+        mem.allocate("x", 128)
+        with pytest.raises(LocalMemoryError, match="already allocated"):
+            mem.allocate("x", 128)
+
+    def test_non_positive_size_raises(self):
+        with pytest.raises(LocalMemoryError):
+            LocalMemory.vector().allocate("x", 0)
+
+    def test_free_tracks_usage(self):
+        mem = LocalMemory.vector()
+        mem.allocate("a", 1024)
+        assert mem.used == 1024
+        assert mem.free == 80 * 1024 - 1024
+
+    def test_offset_lookup(self):
+        mem = LocalMemory.vector()
+        mem.allocate("a", 256)
+        mem.allocate("b", 256)
+        assert mem.offset_of("b") == 256
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(LocalMemoryError, match="unknown"):
+            LocalMemory.vector().offset_of("nope")
+
+
+class TestAccessChecking:
+    def test_in_bounds_aligned_access_ok(self):
+        mem = LocalMemory.vector()
+        mem.allocate("buf", 1024)
+        mem.check_access("buf", 128, 256)
+
+    def test_misaligned_access_raises(self):
+        mem = LocalMemory.vector()
+        mem.allocate("buf", 1024)
+        with pytest.raises(LocalMemoryError, match="alignment"):
+            mem.check_access("buf", 64, 128)
+
+    def test_out_of_bounds_raises(self):
+        mem = LocalMemory.vector()
+        mem.allocate("buf", 256)
+        with pytest.raises(LocalMemoryError, match="outside"):
+            mem.check_access("buf", 128, 256)
+
+    def test_reset_clears_everything(self):
+        mem = LocalMemory.vector()
+        mem.allocate("a", 512)
+        mem.reset()
+        assert mem.used == 0
+        mem.allocate("a", 512)  # reusable after reset

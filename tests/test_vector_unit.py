@@ -1,0 +1,69 @@
+"""Vector-engine throughput accounting."""
+
+import pytest
+
+from repro.hw.spec import A100_SPEC, GAUDI2_SPEC, DType
+from repro.hw.vector_unit import VectorUnitModel
+
+
+@pytest.fixture(scope="module")
+def tpc():
+    return VectorUnitModel(GAUDI2_SPEC.vector)
+
+
+@pytest.fixture(scope="module")
+def simd():
+    return VectorUnitModel(A100_SPEC.vector)
+
+
+class TestPeaks:
+    def test_full_chip_peaks(self, tpc, simd):
+        assert tpc.peak_flops() == pytest.approx(11e12)
+        assert simd.peak_flops() == pytest.approx(39e12)
+
+    def test_per_core_scaling(self, tpc):
+        assert tpc.peak_flops(num_cores=12) == pytest.approx(5.5e12)
+
+    def test_invalid_core_count_raises(self, tpc):
+        with pytest.raises(ValueError):
+            tpc.peak_flops(num_cores=25)
+        with pytest.raises(ValueError):
+            tpc.peak_flops(num_cores=0)
+
+
+class TestFmaAccounting:
+    def test_non_fma_kernels_reach_half_peak(self, tpc):
+        """The 50 % saturation of ADD/SCALE in Figure 8(d, e)."""
+        assert tpc.sustained_flops(uses_fma=False).fraction_of_peak == 0.5
+
+    def test_fma_kernels_reach_full_peak(self, tpc):
+        """TRIAD's ~99 % saturation in Figure 8(f)."""
+        assert tpc.sustained_flops(uses_fma=True).fraction_of_peak == 1.0
+
+    def test_same_split_on_a100(self, simd):
+        assert simd.sustained_flops(uses_fma=False).flops == pytest.approx(19.5e12)
+        assert simd.sustained_flops(uses_fma=True).flops == pytest.approx(39e12)
+
+    def test_vector_gap_is_3_5x(self, tpc, simd):
+        """Table 1: A100 has ~3.5x the vector math throughput."""
+        assert simd.peak_flops() / tpc.peak_flops() == pytest.approx(3.5, abs=0.1)
+
+
+class TestElementwiseTime:
+    def test_zero_work_is_free(self, tpc):
+        assert tpc.elementwise_time(0, 1.0) == 0.0
+        assert tpc.elementwise_time(100, 0.0) == 0.0
+
+    def test_linear_in_elements(self, tpc):
+        one = tpc.elementwise_time(10**6, 2.0)
+        two = tpc.elementwise_time(2 * 10**6, 2.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_negative_raises(self, tpc):
+        with pytest.raises(ValueError):
+            tpc.elementwise_time(-1, 1.0)
+
+    def test_fp32_half_rate(self, tpc):
+        bf16 = tpc.elementwise_time(10**6, 1.0, DType.BF16)
+        fp32 = tpc.elementwise_time(10**6, 1.0, DType.FP32)
+        assert fp32 == pytest.approx(2 * bf16)
