@@ -6,6 +6,7 @@ Subcommands::
     python -m repro gemm 4096 4096 4096        # one GEMM on both devices
     python -m repro figures [--id fig08] [--full] [--out DIR]
     python -m repro serve --model 8b --device gaudi2 --max-batch 64
+    python -m repro chaos --seed 0 --fail-device 3@t=2.0
     python -m repro smi --workload llm --device gaudi2
 """
 
@@ -105,6 +106,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import ChaosConfig, FaultPlan, run_chaos
+
+    plan = FaultPlan.from_specs(
+        seed=args.seed,
+        fail_device=args.fail_device,
+        degrade_link=args.degrade_link,
+        flap_link=args.flap_link,
+        throttle_hbm=args.throttle_hbm,
+        straggler=args.straggler,
+        kernel_fault_rate=args.kernel_fault_rate,
+    )
+    config = ChaosConfig(
+        model=args.model,
+        device=args.device,
+        tp=args.tp,
+        max_decode_batch=args.max_batch,
+        num_requests=args.requests,
+        rate=args.rate,
+        seed=args.seed,
+        deadline=args.deadline,
+        max_retries=args.max_retries,
+        checkpoint_interval=args.checkpoint_interval,
+        num_kv_blocks=args.kv_blocks,
+        admission_watermark=args.watermark,
+        plan=plan,
+    )
+    report = run_chaos(config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
 def _cmd_smi(args: argparse.Namespace) -> int:
     from repro.hw.power import ActivityAccumulator
     from repro.models.dlrm import DlrmCostModel, RM2_CONFIG
@@ -161,6 +199,51 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=64)
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(fn=_cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injected serving run with graceful degradation",
+        description=(
+            "Run the vLLM-style serving simulation under a seeded fault "
+            "plan: device failures, link degradation/flaps, HBM "
+            "throttling, stragglers, and transient kernel faults. "
+            "Example: repro chaos --seed 0 --fail-device 3@t=2.0"
+        ),
+    )
+    chaos.add_argument("--model", default="8b", choices=["8b", "70b"])
+    chaos.add_argument("--device", default="gaudi2", choices=["gaudi2", "a100"])
+    chaos.add_argument("--tp", type=int, default=8,
+                       help="tensor-parallel degree (the fault domain size)")
+    chaos.add_argument("--max-batch", type=int, default=32)
+    chaos.add_argument("--requests", type=int, default=128)
+    chaos.add_argument("--rate", type=float, default=None,
+                       help="Poisson offered rate in req/s (default: backlog)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--deadline", type=float, default=None,
+                       help="TTFT SLO in seconds (drives retries and goodput)")
+    chaos.add_argument("--max-retries", type=int, default=3)
+    chaos.add_argument("--checkpoint-interval", type=int, default=32,
+                       help="tokens between recompute checkpoints")
+    chaos.add_argument("--kv-blocks", type=int, default=None,
+                       help="constrain the KV pool to force shedding")
+    chaos.add_argument("--watermark", type=float, default=1.0,
+                       help="KV-pool admission watermark in (0, 1]")
+    chaos.add_argument("--fail-device", action="append", default=[],
+                       metavar="D@t=T[,recover=T]",
+                       help="kill device D at time T (repeatable)")
+    chaos.add_argument("--degrade-link", action="append", default=[],
+                       metavar="A-B@t=T,factor=F[,until=T]")
+    chaos.add_argument("--flap-link", action="append", default=[],
+                       metavar="A-B@t=T,period=P,cycles=N")
+    chaos.add_argument("--throttle-hbm", action="append", default=[],
+                       metavar="F@t=T[,until=T]")
+    chaos.add_argument("--straggler", action="append", default=[],
+                       metavar="D@t=T,factor=F[,until=T]")
+    chaos.add_argument("--kernel-fault-rate", type=float, default=0.0,
+                       help="per-step transient kernel-failure probability")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     smi = sub.add_parser("smi", help="hl-smi / nvidia-smi style readout")
     smi.add_argument("--device", default="gaudi2")

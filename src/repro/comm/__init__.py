@@ -18,17 +18,34 @@ conventions the paper adopts.
 
 from repro.comm.api import CollectiveLibrary, HcclLibrary, NcclLibrary
 from repro.comm.busbw import bus_bandwidth_factor
-from repro.comm.collectives import CollectiveOp, CollectiveResult
-from repro.comm.topology import P2PMeshTopology, SwitchTopology, Topology
+from repro.comm.collectives import (
+    CollectiveOp,
+    CollectiveResult,
+    degraded_collective_time,
+    effective_participants,
+)
+from repro.comm.topology import (
+    DegradedMeshTopology,
+    DegradedSwitchTopology,
+    FabricHealth,
+    P2PMeshTopology,
+    SwitchTopology,
+    Topology,
+)
 
 __all__ = [
     "CollectiveLibrary",
     "CollectiveOp",
     "CollectiveResult",
+    "DegradedMeshTopology",
+    "DegradedSwitchTopology",
+    "FabricHealth",
     "HcclLibrary",
     "NcclLibrary",
     "P2PMeshTopology",
     "SwitchTopology",
     "Topology",
     "bus_bandwidth_factor",
+    "degraded_collective_time",
+    "effective_participants",
 ]

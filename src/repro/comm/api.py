@@ -8,12 +8,26 @@ and bus bandwidth).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
+import copy
+
 from repro.comm.busbw import bus_bandwidth_factor
-from repro.comm.collectives import CollectiveOp, CollectiveResult, collective_time
-from repro.comm.topology import P2PMeshTopology, SwitchTopology, Topology
+from repro.comm.collectives import (
+    CollectiveOp,
+    CollectiveResult,
+    collective_time,
+    effective_participants,
+)
+from repro.comm.topology import (
+    DegradedMeshTopology,
+    DegradedSwitchTopology,
+    FabricHealth,
+    P2PMeshTopology,
+    SwitchTopology,
+    Topology,
+)
 
 #: Per-operation software efficiency on top of the protocol efficiency.
 #: HCCL's direct-exchange kernels are uniformly tuned; NCCL's AlltoAll
@@ -75,6 +89,27 @@ class CollectiveLibrary:
             bus_bandwidth=busbw,
             bus_utilization=busbw / self.NOMINAL_BANDWIDTH,
         )
+
+    # -- fault awareness ----------------------------------------------
+    def with_topology(self, topology: Topology) -> "CollectiveLibrary":
+        """The same library (protocol/op tuning intact) rebound to
+        another topology, e.g. a degraded view of the original."""
+        other = copy.copy(self)
+        other.topology = topology
+        other.op_efficiency = dict(self.op_efficiency)
+        return other
+
+    def degraded(self, health: FabricHealth) -> "CollectiveLibrary":
+        """Rebind onto a fault-state view of the current topology."""
+        if isinstance(self.topology, P2PMeshTopology):
+            return self.with_topology(DegradedMeshTopology(self.topology, health))
+        if isinstance(self.topology, SwitchTopology):
+            return self.with_topology(DegradedSwitchTopology(self.topology, health))
+        raise TypeError(f"unsupported topology {type(self.topology).__name__}")
+
+    def alive_participants(self, requested: int) -> int:
+        """Participants actually reachable on the bound topology."""
+        return effective_participants(self.topology, requested)
 
     # Convenience wrappers matching the library APIs.
     def all_reduce(self, size_bytes: float, participants: int) -> CollectiveReport:

@@ -136,3 +136,32 @@ def collective_time(
     if isinstance(topology, SwitchTopology):
         return ring_collective_time(op, size_bytes, participants, topology, efficiency)
     raise TypeError(f"unsupported topology {type(topology).__name__}")
+
+
+def effective_participants(topology: Topology, requested: int) -> int:
+    """Clamp a collective's participant count to the alive devices.
+
+    Degraded topology views expose :meth:`alive_devices`; healthy
+    topologies run with all requested participants."""
+    alive = getattr(topology, "alive_devices", None)
+    if alive is None:
+        return requested
+    return min(requested, alive())
+
+
+def degraded_collective_time(
+    op: CollectiveOp,
+    size_bytes: float,
+    participants: int,
+    topology: Topology,
+    efficiency: float = 1.0,
+) -> CollectiveResult:
+    """Collective over whatever subset of ``participants`` is still up.
+
+    With fewer than two survivors there is nothing to exchange: the
+    result is a zero-time, zero-step collective.
+    """
+    alive = effective_participants(topology, participants)
+    if alive < 2:
+        return CollectiveResult(op, size_bytes, max(alive, 0), 0.0, steps=0)
+    return collective_time(op, size_bytes, alive, topology, efficiency)

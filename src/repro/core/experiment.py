@@ -13,7 +13,7 @@ import io
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.core.sweep import Sweep
 

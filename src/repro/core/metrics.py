@@ -50,6 +50,28 @@ def bandwidth_utilization(useful_bytes: float, seconds: float, peak_bandwidth: f
     return (useful_bytes / seconds) / peak_bandwidth
 
 
+def goodput_fraction(good_units: float, total_units: float) -> float:
+    """Share of delivered work that met its service objective.
+
+    ``total_units == 0`` (an empty or fully-shed run) yields 0.0 rather
+    than an error: resilience reports must render for any outcome.
+    """
+    if good_units < 0 or total_units < 0:
+        raise ValueError("units must be non-negative")
+    if good_units > total_units:
+        raise ValueError("good_units cannot exceed total_units")
+    return good_units / total_units if total_units else 0.0
+
+
+def slo_violation_rate(latencies: Sequence[float], slo: float) -> float:
+    """Fraction of latencies above the SLO (empty input counts 0.0)."""
+    if slo <= 0:
+        raise ValueError("slo must be positive")
+    if not latencies:
+        return 0.0
+    return sum(1 for latency in latencies if latency > slo) / len(latencies)
+
+
 def percentile(values: Iterable[float], q: float) -> float:
     """Simple nearest-rank percentile (q in [0, 100])."""
     data = sorted(values)

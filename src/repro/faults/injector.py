@@ -1,0 +1,154 @@
+"""Replays a :class:`~repro.faults.plan.FaultPlan` against the clock.
+
+The injector owns (or is handed) a shared
+:class:`~repro.comm.FabricHealth`: as the engine's virtual clock passes
+each event's fire time, the injector mutates the health record -- which
+degraded topology views read live when pricing collectives -- and keeps
+the compute-side fault state (HBM throttle, stragglers, pending kernel
+faults) that the engine polls every step.  Everything is seeded, so the
+same plan replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.comm.topology import FabricHealth
+from repro.faults.events import FaultEvent, FaultKind
+from repro.faults.plan import FaultPlan
+
+
+@dataclass
+class AdvanceSummary:
+    """What changed during one :meth:`FaultInjector.advance` call.
+
+    The serving engine consumes these counts (duck-typed) instead of
+    inspecting raw events, keeping :mod:`repro.serving` import-free of
+    this package.
+    """
+
+    device_failures: int = 0
+    device_recoveries: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def fired(self) -> bool:
+        return bool(self.events)
+
+
+class FaultInjector:
+    """Deterministic fault-state machine for one serving run."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        num_devices: int = 8,
+        health: Optional[FabricHealth] = None,
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self.plan = plan
+        self.num_devices = num_devices
+        self.health = health if health is not None else FabricHealth()
+        self._queue = plan.scheduled()
+        self._cursor = 0
+        self._rng = random.Random(plan.seed)
+        self._pending_kernel_fault = False
+        self.hbm_factor = 1.0
+        self.stragglers: Dict[int, float] = {}
+        self.fired: List[FaultEvent] = []
+
+    # -- clock ---------------------------------------------------------
+    def advance(self, now: float) -> AdvanceSummary:
+        """Apply every event with ``time <= now``; returns what fired."""
+        summary = AdvanceSummary()
+        while self._cursor < len(self._queue) and self._queue[self._cursor].time <= now:
+            event = self._queue[self._cursor]
+            self._cursor += 1
+            self._apply(event, summary)
+            summary.events.append(event)
+            self.fired.append(event)
+        return summary
+
+    def _apply(self, event: FaultEvent, summary: AdvanceSummary) -> None:
+        kind = event.kind
+        if kind is FaultKind.DEVICE_FAIL:
+            # A device outside this run's fault domain (e.g. dev 12 at
+            # TP=8) cannot hurt the serving group: record nothing.
+            if event.device >= self.num_devices:
+                return
+            if event.device not in self.health.down_devices:
+                summary.device_failures += 1
+            self.health.fail_device(event.device)
+        elif kind is FaultKind.DEVICE_RECOVER:
+            if event.device >= self.num_devices:
+                return
+            if event.device in self.health.down_devices:
+                summary.device_recoveries += 1
+            self.health.recover_device(event.device)
+        elif kind is FaultKind.LINK_DEGRADE:
+            self.health.set_link_factor(event.device, event.peer, event.factor)
+        elif kind is FaultKind.LINK_RESTORE:
+            self.health.restore_link(event.device, event.peer)
+        elif kind is FaultKind.HBM_THROTTLE:
+            if event.factor <= 0:
+                raise ValueError("HBM throttle factor must be > 0")
+            self.hbm_factor = event.factor
+        elif kind is FaultKind.HBM_RESTORE:
+            self.hbm_factor = 1.0
+        elif kind is FaultKind.TPC_STRAGGLER:
+            if event.factor <= 0:
+                raise ValueError("straggler factor must be > 0")
+            self.stragglers[event.device] = event.factor
+        elif kind is FaultKind.STRAGGLER_CLEAR:
+            self.stragglers.pop(event.device, None)
+        elif kind is FaultKind.KERNEL_FAULT:
+            self._pending_kernel_fault = True
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    # -- engine-facing queries -----------------------------------------
+    def device_up(self, device: int) -> bool:
+        return device not in self.health.down_devices
+
+    def alive_devices(self) -> int:
+        return self.health.alive(self.num_devices)
+
+    def compute_slowdown(self) -> float:
+        """Multiplier on step time from HBM throttling and stragglers.
+
+        Engine steps are batch-synchronous, so the slowest alive device
+        (or the throttled memory system) paces everyone.
+        """
+        factor = self.hbm_factor
+        for device, speed in self.stragglers.items():
+            if device in self.health.down_devices:
+                continue  # a dead device can't straggle
+            factor = min(factor, speed)
+        return 1.0 / factor
+
+    def kernel_fault(self) -> bool:
+        """Whether the decode step that just ran hit a transient kernel
+        failure (scheduled one-shots first, then the seeded rate)."""
+        if self._pending_kernel_fault:
+            self._pending_kernel_fault = False
+            return True
+        rate = self.plan.kernel_fault_rate
+        return rate > 0 and self._rng.random() < rate
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every scheduled event has fired."""
+        return self._cursor >= len(self._queue)
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Fire time of the next pending event (None when exhausted).
+
+        During a total outage the engine stalls the clock to this time:
+        the only thing that can change the world is the next event."""
+        if self.exhausted:
+            return None
+        return self._queue[self._cursor].time

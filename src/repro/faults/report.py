@@ -1,0 +1,156 @@
+"""The :class:`ResilienceReport` of one chaos run.
+
+Summarizes how the serving stack degraded: what was shed, retried, and
+recovered, the SLO-violation rate, goodput against raw throughput, and
+the interconnect-bandwidth retention the Figure 10 port-loss model
+predicts for the surviving mesh.  Rendering uses fixed formats only,
+so the same seed produces a byte-identical report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Aggregate outcome of one fault-injected serving run."""
+
+    device: str
+    model: str
+    tp_degree: int
+    seed: int
+    # -- request ledger ------------------------------------------------
+    num_requests: int
+    finished_requests: int
+    shed_requests: int
+    failed_requests: int
+    unfinished_requests: int
+    retried_requests: int
+    recovered_requests: int
+    preemptions: int
+    fault_preemptions: int
+    kernel_retries: int
+    device_failures: int
+    device_recoveries: int
+    # -- service quality ----------------------------------------------
+    total_time: float
+    total_output_tokens: int
+    throughput_tokens_per_s: float
+    goodput_tokens_per_s: float
+    slo_violation_rate: float
+    mean_ttft: float
+    p99_ttft: float
+    mean_tpot: float
+    # -- fabric (Figure 10 port-loss model) ----------------------------
+    alive_devices: int
+    healthy_allreduce_bw: float
+    degraded_allreduce_bw: float
+    shed_reasons: Tuple[Tuple[str, int], ...] = ()
+    fault_log: Tuple[str, ...] = field(default=(), repr=False)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.finished_requests / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        if self.throughput_tokens_per_s <= 0:
+            return 0.0
+        return self.goodput_tokens_per_s / self.throughput_tokens_per_s
+
+    @property
+    def bandwidth_retention(self) -> float:
+        """Degraded / healthy AllReduce bus bandwidth.
+
+        On the P2P mesh with ``d`` of ``n`` devices down this is the
+        paper's port cliff, ``(n - d - 1) / (n - 1)``."""
+        if self.healthy_allreduce_bw <= 0:
+            return 0.0
+        return self.degraded_allreduce_bw / self.healthy_allreduce_bw
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "device": self.device,
+            "model": self.model,
+            "tp_degree": self.tp_degree,
+            "seed": self.seed,
+            "num_requests": self.num_requests,
+            "finished_requests": self.finished_requests,
+            "shed_requests": self.shed_requests,
+            "failed_requests": self.failed_requests,
+            "unfinished_requests": self.unfinished_requests,
+            "retried_requests": self.retried_requests,
+            "recovered_requests": self.recovered_requests,
+            "preemptions": self.preemptions,
+            "fault_preemptions": self.fault_preemptions,
+            "kernel_retries": self.kernel_retries,
+            "device_failures": self.device_failures,
+            "device_recoveries": self.device_recoveries,
+            "total_time": round(self.total_time, 9),
+            "total_output_tokens": self.total_output_tokens,
+            "throughput_tokens_per_s": round(self.throughput_tokens_per_s, 6),
+            "goodput_tokens_per_s": round(self.goodput_tokens_per_s, 6),
+            "goodput_fraction": round(self.goodput_fraction, 6),
+            "slo_violation_rate": round(self.slo_violation_rate, 6),
+            "mean_ttft": round(self.mean_ttft, 9),
+            "p99_ttft": round(self.p99_ttft, 9),
+            "mean_tpot": round(self.mean_tpot, 9),
+            "alive_devices": self.alive_devices,
+            "healthy_allreduce_bw": round(self.healthy_allreduce_bw, 3),
+            "degraded_allreduce_bw": round(self.degraded_allreduce_bw, 3),
+            "bandwidth_retention": round(self.bandwidth_retention, 6),
+            "shed_reasons": dict(self.shed_reasons),
+            "fault_log": list(self.fault_log),
+        }
+
+    def render(self) -> str:
+        """Fixed-format text report (byte-identical per seed)."""
+        lines: List[str] = []
+        lines.append(
+            f"Resilience report: {self.model} on {self.device} "
+            f"(TP={self.tp_degree}, seed={self.seed})"
+        )
+        lines.append(
+            f"  requests   : {self.num_requests} submitted | "
+            f"{self.finished_requests} finished | {self.shed_requests} shed | "
+            f"{self.failed_requests} failed | {self.unfinished_requests} unfinished"
+        )
+        lines.append(
+            f"  recovery   : {self.retried_requests} retried | "
+            f"{self.recovered_requests} recovered | "
+            f"{self.preemptions} capacity preemptions | "
+            f"{self.fault_preemptions} fault preemptions | "
+            f"{self.kernel_retries} kernel retries"
+        )
+        lines.append(
+            f"  faults     : {self.device_failures} device failures | "
+            f"{self.device_recoveries} recoveries | "
+            f"{self.alive_devices}/{self.tp_degree} devices alive at end"
+        )
+        lines.append(
+            f"  latency    : mean TTFT {self.mean_ttft:.4f} s | "
+            f"p99 TTFT {self.p99_ttft:.4f} s | mean TPOT {self.mean_tpot * 1e3:.3f} ms"
+        )
+        lines.append(
+            f"  throughput : {self.throughput_tokens_per_s:.2f} tokens/s over "
+            f"{self.total_time:.4f} s ({self.total_output_tokens} tokens)"
+        )
+        lines.append(
+            f"  goodput    : {self.goodput_tokens_per_s:.2f} tokens/s "
+            f"({self.goodput_fraction:.1%} of throughput) | "
+            f"SLO violations {self.slo_violation_rate:.1%}"
+        )
+        lines.append(
+            f"  fabric     : AllReduce {self.degraded_allreduce_bw / 1e9:.2f} GB/s "
+            f"vs healthy {self.healthy_allreduce_bw / 1e9:.2f} GB/s "
+            f"({self.bandwidth_retention:.1%} retained; Fig. 10 port model)"
+        )
+        if self.shed_reasons:
+            lines.append("  shed       : " + "; ".join(
+                f"{count}x {reason}" for reason, count in self.shed_reasons
+            ))
+        for entry in self.fault_log:
+            lines.append(f"  event      : {entry}")
+        return "\n".join(lines)

@@ -9,7 +9,7 @@ utilization over the fixed array.
 
 from __future__ import annotations
 
-from repro.core.report import render_heatmap, render_table
+from repro.core.report import render_table
 from repro.figures.common import FigureResult, register_figure
 from repro.hw.device import Gaudi2Device
 from repro.hw.spec import DType

@@ -11,7 +11,7 @@ activity profile the power model consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.graph.ir import Engine, Graph, Op
 from repro.graph.pipeliner import SLICE_OVERHEAD, pipelined_duration

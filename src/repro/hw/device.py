@@ -10,7 +10,7 @@ paper attributes to PyTorch's device abstraction (Figure 2(a)).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.hw.memory import HbmModel
 from repro.hw.mme import MmeModel

@@ -33,10 +33,8 @@ from repro.hw.spec import (
     GIGA,
     InterconnectSpec,
     MatrixEngineSpec,
-    MemorySpec,
     PowerSpec,
     TERA,
-    VectorEngineSpec,
 )
 from repro.hw.systolic import SystolicGeometry
 

@@ -10,7 +10,7 @@ models never reach for magic numbers.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 GIGA = 1e9

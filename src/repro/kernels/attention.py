@@ -17,7 +17,6 @@ Section 3.5:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.hw.device import A100Device, Device, Gaudi2Device

@@ -13,13 +13,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
 from repro.cuda import CudaLauncher
 from repro.hw.device import A100Device, Device, Gaudi2Device
-from repro.hw.spec import DType
 from repro.tpc import TpcKernelBuilder, TpcLauncher
 from repro.tpc import intrinsics
 

@@ -29,12 +29,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.graph.pipeliner import pipelined_duration
-from repro.hw.device import A100Device, Gaudi2Device
 from repro.hw.spec import A100_SPEC, GAUDI2_SPEC, DeviceSpec, DType
 
 #: Tokens per KV cache block (the vLLM default for Gaudi).

@@ -11,11 +11,10 @@ implementations (the vLLM setup of Section 4.2).
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.hw.device import Device, Gaudi2Device
+from repro.hw.device import Device
 from repro.hw.power import ActivityAccumulator, PowerModel
 from repro.hw.spec import DType
 from repro.kernels.attention import AttentionConfig, attention_time

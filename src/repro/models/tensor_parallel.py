@@ -10,7 +10,7 @@ with TP degree (Figure 12(a)).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.comm import CollectiveLibrary, HcclLibrary, NcclLibrary
@@ -46,9 +46,24 @@ class TensorParallelConfig:
             )
         return size // self.degree
 
+    def effective_degree(self) -> int:
+        """TP participants still reachable on the bound fabric.
+
+        With a degraded topology view bound (see
+        :class:`repro.comm.DegradedMeshTopology`), failed devices drop
+        out of the collective; healthy fabrics report the full degree.
+        """
+        if self.degree == 1 or self.library is None:
+            return self.degree
+        return self.library.alive_participants(self.degree)
+
     def allreduce_time(self, size_bytes: float) -> float:
-        """One activation AllReduce across the TP group."""
+        """One activation AllReduce across the (possibly degraded) TP
+        group; with fewer than two survivors there is no exchange."""
         if self.degree == 1:
             return 0.0
         assert self.library is not None
-        return self.library.all_reduce(size_bytes, self.degree).time
+        participants = self.effective_degree()
+        if participants < 2:
+            return 0.0
+        return self.library.all_reduce(size_bytes, participants).time

@@ -19,26 +19,37 @@
 
 from repro.serving.capacity import CapacityReport, compare_capacity
 from repro.serving.dataset import dynamic_sonnet_requests, fixed_length_requests
-from repro.serving.engine import LlmServingEngine, ServingReport
+from repro.serving.engine import (
+    FaultStats,
+    LlmServingEngine,
+    ResiliencePolicy,
+    ServingReport,
+)
 from repro.serving.loadgen import (
     LoadTestReport,
+    ResilientLoadReport,
     max_sustainable_rate,
     poisson_arrivals,
     run_load_test,
+    run_resilient_load_test,
 )
 from repro.serving.kv_cache import BlockManager, KvCacheError
 from repro.serving.recsys import RecSysServer, RecSysReport
-from repro.serving.request import Request, RequestState
+from repro.serving.request import Request, RequestState, RetryPolicy
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
 __all__ = [
     "BlockManager",
     "CapacityReport",
+    "FaultStats",
     "LoadTestReport",
+    "ResiliencePolicy",
+    "ResilientLoadReport",
     "compare_capacity",
     "max_sustainable_rate",
     "poisson_arrivals",
     "run_load_test",
+    "run_resilient_load_test",
     "ContinuousBatchingScheduler",
     "KvCacheError",
     "LlmServingEngine",
@@ -46,6 +57,7 @@ __all__ = [
     "RecSysServer",
     "Request",
     "RequestState",
+    "RetryPolicy",
     "ServingReport",
     "dynamic_sonnet_requests",
     "fixed_length_requests",

@@ -7,17 +7,25 @@ batch, using the bound :class:`~repro.models.llama.LlamaCostModel` and
 the selected decode-attention implementation.  TTFT and TPOT fall out
 of the per-request timestamps, which is how Figure 17(d, e) is
 regenerated.
+
+With a :class:`ResiliencePolicy` (and optionally a
+:class:`~repro.faults.injector.FaultInjector`) bound, the engine
+degrades gracefully instead of crashing: requests that can never fit
+the KV pool are shed with a reason, TTFT deadlines trigger client-style
+retries with exponential backoff, device faults preempt the running
+batch into checkpointed recompute, and transient kernel failures cost a
+wasted step rather than the run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.hw.power import ActivityAccumulator, PowerModel
 from repro.models.llama import DecodeAttention, LlamaCostModel
 from repro.serving.kv_cache import BlockManager, KvCacheError
-from repro.serving.request import Request, RequestState
+from repro.serving.request import Request, RequestState, RetryPolicy
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
 #: Default KV block size in tokens (matches the paged-attention kernel).
@@ -25,8 +33,49 @@ DEFAULT_BLOCK_SIZE = 128
 
 
 @dataclass(frozen=True)
+class ResiliencePolicy:
+    """Graceful-degradation knobs for one serving run.
+
+    ``deadline`` is a TTFT SLO in seconds: a request still waiting past
+    it is retried (client-style, with exponential backoff per
+    ``retry``) and finally shed.  ``checkpoint_interval`` bounds the
+    recompute after a device fault; ``admission_watermark`` keeps a
+    fraction of the KV pool free for decode growth.
+    """
+
+    shed_on_exhaustion: bool = True
+    deadline: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint_interval: int = 32
+    admission_watermark: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+
+@dataclass
+class FaultStats:
+    """Counters of degradation events during one run."""
+
+    device_failures: int = 0
+    device_recoveries: int = 0
+    fault_preemptions: int = 0
+    kernel_retries: int = 0
+    deadline_retries: int = 0
+    recovered_requests: int = 0
+
+
+@dataclass(frozen=True)
 class ServingReport:
-    """Aggregate metrics of one serving run."""
+    """Aggregate metrics of one serving run.
+
+    Latency means are computed over *finished* requests only;
+    ``num_requests`` counts everything submitted, partitioned into
+    finished / shed / failed / unfinished.
+    """
 
     device: str
     attention: str
@@ -39,6 +88,13 @@ class ServingReport:
     average_power: float
     engine_steps: int
     preemptions: int
+    finished_requests: int = 0
+    shed_requests: int = 0
+    failed_requests: int = 0
+    unfinished_requests: int = 0
+    retried_requests: int = 0
+    kernel_retries: int = 0
+    device_failures: int = 0
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -54,6 +110,11 @@ class ServingReport:
             return 0.0
         return self.average_power * self.total_time / self.total_output_tokens
 
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of submitted requests served to completion."""
+        return self.finished_requests / self.num_requests if self.num_requests else 0.0
+
 
 class LlmServingEngine:
     """Serves batches of requests over a Llama cost model."""
@@ -65,29 +126,55 @@ class LlmServingEngine:
         max_decode_batch: int = 64,
         block_size: int = DEFAULT_BLOCK_SIZE,
         num_kv_blocks: Optional[int] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        injector: Optional[object] = None,
     ) -> None:
+        """``injector`` is a :class:`~repro.faults.injector.FaultInjector`
+        (duck-typed so the serving layer stays import-independent of
+        :mod:`repro.faults`)."""
         self.model = model
         self.attention = attention
         if num_kv_blocks is None:
             capacity_tokens = model.max_kv_tokens()
             num_kv_blocks = max(1, capacity_tokens // block_size)
         self.block_manager = BlockManager(num_kv_blocks, block_size)
-        self.scheduler = ContinuousBatchingScheduler(self.block_manager, max_decode_batch)
+        self.policy = policy
+        self.injector = injector
+        self.scheduler = ContinuousBatchingScheduler(
+            self.block_manager,
+            max_decode_batch,
+            admission_watermark=policy.admission_watermark if policy else 1.0,
+        )
         self.max_decode_batch = max_decode_batch
+        self.fault_stats = FaultStats()
+        self._fault_restarted_ids: set = set()
+
+    @property
+    def _graceful(self) -> bool:
+        return self.policy is not None and self.policy.shed_on_exhaustion
 
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[Request]) -> ServingReport:
-        """Serve ``requests`` to completion; returns aggregate metrics."""
+        """Serve ``requests``; returns aggregate metrics.
+
+        Without a policy, an unservable request raises
+        :class:`KvCacheError` (fail fast); with one, it is shed with a
+        reason and the run continues.
+        """
         if not requests:
             raise ValueError("need at least one request")
         for request in requests:
-            self.scheduler.submit(request)
+            if self.policy and self.policy.deadline is not None and request.deadline is None:
+                request.deadline = self.policy.deadline
+            self._submit(request)
 
         now = 0.0
         steps = 0
         preemptions = 0
         activity = ActivityAccumulator()
         while self.scheduler.has_unfinished:
+            now = self._advance_faults(now)
+            self._enforce_deadlines(now)
             schedule = self.scheduler.step(now)
             if not schedule.has_work:
                 if not self.scheduler.waiting:
@@ -96,20 +183,29 @@ class LlmServingEngine:
                 if head.arrival_time <= now:
                     # Nothing runs, nothing admits, and the head request
                     # has already arrived: the pool can never serve it.
+                    reason = (
+                        f"kv-exhausted: {head.context_len} prompt tokens exceed "
+                        "the free KV pool with no running request to retire"
+                    )
+                    if self._graceful:
+                        self.scheduler.shed(head, reason)
+                        continue
                     raise KvCacheError(
-                        f"request {head.request_id} cannot be admitted: "
-                        f"{head.input_tokens} prompt tokens exceed the free "
-                        "KV pool with no running request to retire"
+                        f"request {head.request_id} cannot be admitted: {reason}"
                     )
                 # All remaining requests arrive later; jump the clock.
                 now = max(now, head.arrival_time)
                 continue
+            slowdown = self._slowdown()
             for request in schedule.new_requests:
                 # vLLM prefills prompts individually (no padding waste).
-                phase = self.model.prefill(1, request.input_tokens)
-                now += phase.time
+                # A fault-restarted request recomputes its checkpointed
+                # tokens too, hence context_len rather than input_tokens.
+                phase = self.model.prefill(1, request.context_len)
+                now += phase.time * slowdown
                 activity.merge(phase.activity)
                 request.record_token(now)
+                self._maybe_checkpoint(request)
             running = [r for r in schedule.running if r.state is RequestState.RUNNING]
             if not running:
                 steps += 1
@@ -122,23 +218,123 @@ class LlmServingEngine:
             phase = self.model.decode_step(
                 len(running), [r.context_len for r in running], self.attention
             )
-            now += phase.time
+            now += phase.time * slowdown
             activity.merge(phase.activity)
-            for request in running:
-                self.block_manager.append_token(request.request_id)
-                request.record_token(now)
             steps += 1
+            if self.injector is not None and self.injector.kernel_fault():
+                # Transient kernel failure: the step's output is lost
+                # and recomputed next iteration; the time still passed.
+                self.fault_stats.kernel_retries += 1
+                continue
+            for request in running:
+                if not self._grow_kv(request):
+                    continue
+                request.record_token(now)
+                self._maybe_checkpoint(request)
+        return self._build_report(requests, now, steps, preemptions, activity)
 
-        finished = list(requests)
-        mean_ttft = sum(r.ttft for r in finished) / len(finished)
-        mean_tpot = sum(r.tpot for r in finished) / len(finished)
-        total_tokens = sum(r.output_tokens for r in finished)
+    # ------------------------------------------------------------------
+    def _submit(self, request: Request) -> None:
+        try:
+            self.scheduler.submit(request)
+        except KvCacheError as error:
+            if not self._graceful:
+                raise
+            request.shed(f"oversized: {error}")
+
+    def _advance_faults(self, now: float) -> float:
+        """Apply fault events due at ``now``; returns the clock, advanced
+        past any total-outage window the run had to wait out."""
+        if self.injector is None:
+            return now
+        self._apply_fault_summary(self.injector.advance(now))
+        # Total outage: with every device down nothing can execute.  The
+        # clock can only move to the next scheduled event (a recovery, if
+        # one is coming); a permanent outage fails everything in flight.
+        while self.injector.alive_devices() == 0:
+            next_time = self.injector.next_event_time
+            if next_time is None:
+                self.scheduler.fail_all("outage: all devices down")
+                break
+            now = max(now, next_time)
+            self._apply_fault_summary(self.injector.advance(now))
+        return now
+
+    def _apply_fault_summary(self, summary: object) -> None:
+        self.fault_stats.device_failures += summary.device_failures
+        self.fault_stats.device_recoveries += summary.device_recoveries
+        if summary.device_failures:
+            # A device fault kills the in-flight batch: preempt every
+            # runner into checkpointed recompute.
+            for victim in list(self.scheduler.running):
+                self.scheduler.preempt(victim, from_checkpoint=True)
+                self.fault_stats.fault_preemptions += 1
+                self._fault_restarted_ids.add(victim.request_id)
+
+    def _enforce_deadlines(self, now: float) -> None:
+        if self.policy is None or self.policy.deadline is None:
+            return
+        for request in list(self.scheduler.waiting):
+            if not request.deadline_missed(now):
+                continue
+            if request.retries < self.policy.retry.max_retries:
+                self.scheduler.waiting.remove(request)
+                delay = self.policy.retry.backoff(request.retries)
+                request.resubmit(now + delay)
+                self.scheduler.waiting.append(request)
+                self.fault_stats.deadline_retries += 1
+            else:
+                self.scheduler.shed(
+                    request,
+                    f"deadline: no first token within {request.deadline:g}s "
+                    f"after {request.retries} retries",
+                )
+
+    def _slowdown(self) -> float:
+        return self.injector.compute_slowdown() if self.injector is not None else 1.0
+
+    def _maybe_checkpoint(self, request: Request) -> None:
+        if self.policy is None:
+            return
+        if request.generated % self.policy.checkpoint_interval == 0:
+            request.checkpoint = request.generated
+
+    def _grow_kv(self, request: Request) -> bool:
+        """Extend a runner's KV allocation by one token; shed on a full
+        pool in graceful mode (only reachable with a single runner)."""
+        try:
+            self.block_manager.append_token(request.request_id)
+            return True
+        except KvCacheError:
+            if not self._graceful:
+                raise
+            self.scheduler.shed(request, "kv-exhausted: pool full during decode")
+            return False
+
+    def _build_report(
+        self,
+        requests: Sequence[Request],
+        now: float,
+        steps: int,
+        preemptions: int,
+        activity: ActivityAccumulator,
+    ) -> ServingReport:
+        finished = [r for r in requests if r.state is RequestState.FINISHED]
+        self.fault_stats.recovered_requests = sum(
+            1 for r in finished if r.request_id in self._fault_restarted_ids
+        )
+        shed = [r for r in requests if r.state is RequestState.SHED]
+        failed = [r for r in requests if r.state is RequestState.FAILED]
+        unfinished = len(requests) - len(finished) - len(shed) - len(failed)
+        mean_ttft = sum(r.ttft for r in finished) / len(finished) if finished else 0.0
+        mean_tpot = sum(r.tpot for r in finished) / len(finished) if finished else 0.0
+        total_tokens = sum(r.generated for r in requests)
         profile = activity.profile(now)
         power = PowerModel(self.model.device.spec.power).power(profile)
         return ServingReport(
             device=self.model.device.name,
             attention=self.attention.value,
-            num_requests=len(finished),
+            num_requests=len(requests),
             max_decode_batch=self.max_decode_batch,
             total_time=now,
             total_output_tokens=total_tokens,
@@ -147,6 +343,13 @@ class LlmServingEngine:
             average_power=power,
             engine_steps=steps,
             preemptions=preemptions,
+            finished_requests=len(finished),
+            shed_requests=len(shed),
+            failed_requests=len(failed),
+            unfinished_requests=unfinished,
+            retried_requests=sum(1 for r in requests if r.retries > 0),
+            kernel_retries=self.fault_stats.kernel_retries,
+            device_failures=self.fault_stats.device_failures,
         )
 
     # ------------------------------------------------------------------
@@ -155,11 +358,6 @@ class LlmServingEngine:
         preempted = 0
         while self.block_manager.free_blocks < len(running) and len(running) > 1:
             victim = running.pop()
-            self.block_manager.free(victim.request_id)
-            self.scheduler.running.remove(victim)
-            victim.state = RequestState.WAITING
-            victim.generated = 0
-            victim.first_token_time = None
-            self.scheduler.waiting.insert(0, victim)
+            self.scheduler.preempt(victim)
             preempted += 1
         return preempted

@@ -61,6 +61,21 @@ class BlockManager:
     def can_allocate(self, num_tokens: int) -> bool:
         return self.blocks_needed(num_tokens) <= len(self._free)
 
+    def has_headroom(self, num_tokens: int, watermark: float = 1.0) -> bool:
+        """Like :meth:`can_allocate`, but also respects an admission
+        watermark: new admissions may not push pool occupancy above
+        ``watermark`` (a fraction of all blocks), reserving headroom
+        for the running batch to grow during decode.  An empty pool
+        always admits a fitting request, so a watermark can delay but
+        never deadlock admission."""
+        if not 0.0 < watermark <= 1.0:
+            raise ValueError("watermark must be in (0, 1]")
+        needed = self.blocks_needed(num_tokens)
+        if needed > len(self._free):
+            return False
+        allocated = self.num_blocks - len(self._free)
+        return allocated + needed <= max(watermark * self.num_blocks, needed)
+
     def allocate(self, request_id: int, num_tokens: int) -> List[int]:
         """Allocate blocks for a request's prompt."""
         if request_id in self._tables:

@@ -15,9 +15,19 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 
-from repro.core.metrics import percentile
+from repro.core.metrics import goodput_fraction, percentile, slo_violation_rate
 from repro.serving.engine import LlmServingEngine, ServingReport
-from repro.serving.request import Request
+from repro.serving.request import Request, RequestState, RetryPolicy
+
+__all__ = [
+    "LoadTestReport",
+    "ResilientLoadReport",
+    "RetryPolicy",
+    "max_sustainable_rate",
+    "poisson_arrivals",
+    "run_load_test",
+    "run_resilient_load_test",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +82,76 @@ def run_load_test(
         mean_tpot=report.mean_tpot,
         # Saturated when the engine finishes well after arrivals stop.
         saturated=report.total_time > 1.25 * last_arrival,
+    )
+
+
+@dataclass(frozen=True)
+class ResilientLoadReport:
+    """One open-loop load point under graceful degradation.
+
+    Unlike :class:`LoadTestReport`, the engine is expected to shed and
+    retry, so completions are partitioned and quality is measured as
+    goodput (tokens of requests finished within the SLO) rather than
+    raw throughput.
+    """
+
+    offered_rate: float
+    finished: int
+    shed: int
+    failed: int
+    retried: int
+    mean_ttft: float
+    p99_ttft: float
+    slo_violation_rate: float
+    goodput_fraction: float       # fraction of submitted tokens delivered in-SLO
+    serving: ServingReport
+
+    @property
+    def completion_rate(self) -> float:
+        return self.serving.completion_rate
+
+
+def run_resilient_load_test(
+    engine_factory: Callable[[], LlmServingEngine],
+    request_factory: Callable[[], List[Request]],
+    offered_rate: float,
+    seed: int = 0,
+) -> ResilientLoadReport:
+    """Serve one Poisson workload on a degradation-enabled engine.
+
+    The factory must return an engine constructed with a
+    :class:`~repro.serving.engine.ResiliencePolicy` (and optionally a
+    fault injector); shed requests then surface in the report instead
+    of crashing the run.
+    """
+    requests = poisson_arrivals(request_factory(), offered_rate, seed)
+    engine = engine_factory()
+    report = engine.run(requests)
+    finished = [r for r in requests if r.state is RequestState.FINISHED]
+    ttfts = [r.ttft for r in finished]
+    deadline = engine.policy.deadline if engine.policy else None
+    if deadline is not None:
+        good = [r for r in finished if r.ttft <= deadline]
+        violations = (
+            slo_violation_rate(ttfts, deadline) * len(finished)
+            + (len(requests) - len(finished))
+        ) / len(requests)
+    else:
+        good = finished
+        violations = (len(requests) - len(finished)) / len(requests)
+    good_tokens = sum(r.output_tokens for r in good)
+    submitted_tokens = sum(r.output_tokens for r in requests)
+    return ResilientLoadReport(
+        offered_rate=offered_rate,
+        finished=len(finished),
+        shed=report.shed_requests,
+        failed=report.failed_requests,
+        retried=report.retried_requests,
+        mean_ttft=report.mean_ttft,
+        p99_ttft=percentile(ttfts, 99) if ttfts else 0.0,
+        slo_violation_rate=violations,
+        goodput_fraction=goodput_fraction(good_tokens, submitted_tokens),
+        serving=report,
     )
 
 

@@ -11,6 +11,35 @@ class RequestState(enum.Enum):
     WAITING = "waiting"
     RUNNING = "running"
     FINISHED = "finished"
+    #: Rejected by admission control / load shedding (carries a reason).
+    SHED = "shed"
+    #: Permanently given up after exhausting the retry budget.
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry with exponential backoff.
+
+    Shed or faulted requests are re-submitted after
+    ``backoff_base * backoff_multiplier ** attempt`` seconds, up to
+    ``max_retries`` attempts, mirroring how serving clients react to
+    load-shedding responses.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.25
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError("need backoff_base >= 0 and backoff_multiplier >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        return self.backoff_base * self.backoff_multiplier ** attempt
 
 
 @dataclass
@@ -25,6 +54,16 @@ class Request:
     generated: int = 0
     first_token_time: Optional[float] = None
     finish_time: Optional[float] = None
+    #: Absolute TTFT budget in seconds from ``arrival_time`` (None = no SLO).
+    deadline: Optional[float] = None
+    #: Client-side re-submissions after shedding/timeouts.
+    retries: int = 0
+    #: Engine-side restarts (preemption-recompute and device faults).
+    restarts: int = 0
+    #: Last checkpointed token count; fault restarts resume from here.
+    checkpoint: int = 0
+    #: Why the request was shed/failed, if it was.
+    shed_reason: Optional[str] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.input_tokens <= 0 or self.output_tokens <= 0:
@@ -49,6 +88,53 @@ class Request:
         if self.done:
             self.state = RequestState.FINISHED
             self.finish_time = now
+
+    # -- fault/degradation transitions -----------------------------------
+    def restart(self, from_checkpoint: bool = False) -> None:
+        """Send the request back to the wait queue for recompute.
+
+        Capacity preemption (``from_checkpoint=False``) discards all
+        progress, so the eventual TTFT reflects the restart.  Fault
+        recovery resumes from the last checkpoint: tokens up to the
+        checkpoint were already delivered, so the original
+        ``first_token_time`` is kept.
+        """
+        self.state = RequestState.WAITING
+        self.restarts += 1
+        self.generated = self.checkpoint if from_checkpoint else 0
+        if self.generated == 0:
+            self.first_token_time = None
+        self.finish_time = None
+
+    def shed(self, reason: str) -> None:
+        """Reject with a reason instead of crashing the run."""
+        if self.state is RequestState.FINISHED:
+            raise RuntimeError(f"request {self.request_id} already finished")
+        self.state = RequestState.SHED
+        self.shed_reason = reason
+
+    def fail(self, reason: str) -> None:
+        """Give up permanently (retry budget exhausted)."""
+        self.state = RequestState.FAILED
+        self.shed_reason = reason
+
+    def resubmit(self, at: float) -> None:
+        """Client retry: re-enter the wait queue as a fresh arrival."""
+        self.retries += 1
+        self.arrival_time = at
+        self.state = RequestState.WAITING
+        self.generated = 0
+        self.checkpoint = 0
+        self.first_token_time = None
+        self.finish_time = None
+
+    def deadline_missed(self, now: float) -> bool:
+        """True when the TTFT SLO expired before the first token."""
+        return (
+            self.deadline is not None
+            and self.first_token_time is None
+            and now - self.arrival_time > self.deadline
+        )
 
     # -- metrics ---------------------------------------------------------
     @property

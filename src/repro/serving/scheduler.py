@@ -4,12 +4,16 @@ vLLM-style iteration-level scheduling: at every engine step, finished
 requests leave, and waiting requests are admitted while (a) the running
 decode batch is below ``max_decode_batch`` -- the knob swept in
 Figure 17(d, e) -- and (b) the KV block pool can hold their prompts.
+
+Scheduler invariants (membership of ``waiting``/``running``, block
+ownership, request-state transitions) live here: the engine asks for
+:meth:`preempt` / :meth:`shed` instead of reaching into the queues.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.serving.kv_cache import BlockManager, KvCacheError
 from repro.serving.request import Request, RequestState
@@ -34,11 +38,15 @@ class ContinuousBatchingScheduler:
         self,
         block_manager: BlockManager,
         max_decode_batch: int,
+        admission_watermark: float = 1.0,
     ) -> None:
         if max_decode_batch <= 0:
             raise ValueError("max_decode_batch must be positive")
+        if not 0.0 < admission_watermark <= 1.0:
+            raise ValueError("admission_watermark must be in (0, 1]")
         self.block_manager = block_manager
         self.max_decode_batch = max_decode_batch
+        self.admission_watermark = admission_watermark
         self.waiting: List[Request] = []
         self.running: List[Request] = []
 
@@ -69,17 +77,58 @@ class ContinuousBatchingScheduler:
                 still_running.append(request)
         self.running = still_running
 
-        # Admit waiting requests in arrival order (no reordering).
+        # Admit waiting requests in arrival order (no reordering).  A
+        # restarted request re-allocates its full context (prompt plus
+        # any checkpointed tokens to recompute).
         admitted: List[Request] = []
         while (
             self.waiting
             and len(self.running) + len(admitted) < self.max_decode_batch
             and self.waiting[0].arrival_time <= now
-            and self.block_manager.can_allocate(self.waiting[0].input_tokens)
+            and self.block_manager.has_headroom(
+                self.waiting[0].context_len, self.admission_watermark
+            )
         ):
             request = self.waiting.pop(0)
-            self.block_manager.allocate(request.request_id, request.input_tokens)
+            self.block_manager.allocate(request.request_id, request.context_len)
             request.state = RequestState.RUNNING
             admitted.append(request)
         self.running.extend(admitted)
         return ScheduleStep(new_requests=admitted, running=list(self.running))
+
+    # -- degradation paths ------------------------------------------------
+    def preempt(self, victim: Request, from_checkpoint: bool = False) -> None:
+        """Evict a running request back to the head of the wait queue.
+
+        Frees its KV blocks and rolls its progress back (to zero for
+        capacity preemption, to the last checkpoint for fault
+        recovery); the victim is re-admitted ahead of later arrivals.
+        """
+        if victim not in self.running:
+            raise ValueError(f"request {victim.request_id} is not running")
+        self.running.remove(victim)
+        self.block_manager.free(victim.request_id)
+        victim.restart(from_checkpoint=from_checkpoint)
+        self.waiting.insert(0, victim)
+
+    def shed(self, request: Request, reason: str) -> None:
+        """Drop a request from either queue with a rejection reason."""
+        if request in self.waiting:
+            self.waiting.remove(request)
+        elif request in self.running:
+            self.running.remove(request)
+            self.block_manager.free(request.request_id)
+        else:
+            raise ValueError(f"request {request.request_id} is not scheduled")
+        request.shed(reason)
+
+    def fail_all(self, reason: str) -> List[Request]:
+        """Terminally fail every scheduled request (e.g. total outage)."""
+        victims = self.waiting + self.running
+        for request in self.running:
+            self.block_manager.free(request.request_id)
+        self.waiting = []
+        self.running = []
+        for request in victims:
+            request.fail(reason)
+        return victims

@@ -9,7 +9,7 @@ so correctness can be checked independently of timing.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.hw.spec import DType

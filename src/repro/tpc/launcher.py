@@ -15,7 +15,6 @@ SingleTable embedding operator pays N times for N tables (Section 4.1).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 

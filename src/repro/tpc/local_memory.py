@@ -9,7 +9,7 @@ the way the real SDK does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 SCALAR_LOCAL_BYTES = 1024

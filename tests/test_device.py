@@ -3,7 +3,6 @@
 import pytest
 
 from repro.hw.device import A100Device, Gaudi2Device, get_device
-from repro.hw.spec import DType
 
 
 class TestFactory:

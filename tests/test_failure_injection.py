@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.hw import get_device
 from repro.models.llama import DecodeAttention, LLAMA_3_1_8B, LlamaCostModel
 from repro.serving import (
     KvCacheError,

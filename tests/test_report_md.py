@@ -1,6 +1,5 @@
 """Live paper-vs-measured markdown report."""
 
-import pytest
 
 from repro.figures.report_md import (
     TRACKED_CLAIMS,

@@ -56,21 +56,22 @@ class TestBatchSizeSweep:
     """Figure 17(d, e) shapes."""
 
     def test_throughput_improves_with_batch(self, gaudi):
-        requests = lambda: dynamic_sonnet_requests(32, seed=2)
-        small = _engine(gaudi, max_batch=2).run(requests())
-        large = _engine(gaudi, max_batch=32).run(requests())
+        small = _engine(gaudi, max_batch=2).run(dynamic_sonnet_requests(32, seed=2))
+        large = _engine(gaudi, max_batch=32).run(dynamic_sonnet_requests(32, seed=2))
         assert large.throughput_tokens_per_s > 1.5 * small.throughput_tokens_per_s
 
     def test_tpot_grows_with_batch(self, gaudi):
-        requests = lambda: dynamic_sonnet_requests(32, seed=2)
-        small = _engine(gaudi, max_batch=2).run(requests())
-        large = _engine(gaudi, max_batch=32).run(requests())
+        small = _engine(gaudi, max_batch=2).run(dynamic_sonnet_requests(32, seed=2))
+        large = _engine(gaudi, max_batch=32).run(dynamic_sonnet_requests(32, seed=2))
         assert large.mean_tpot > small.mean_tpot
 
     def test_opt_attention_beats_base_end_to_end(self, gaudi):
-        requests = lambda: dynamic_sonnet_requests(16, seed=3)
-        opt = _engine(gaudi, DecodeAttention.PAGED_OPT).run(requests())
-        base = _engine(gaudi, DecodeAttention.PAGED_BASE).run(requests())
+        opt = _engine(gaudi, DecodeAttention.PAGED_OPT).run(
+            dynamic_sonnet_requests(16, seed=3)
+        )
+        base = _engine(gaudi, DecodeAttention.PAGED_BASE).run(
+            dynamic_sonnet_requests(16, seed=3)
+        )
         assert opt.throughput_tokens_per_s > base.throughput_tokens_per_s
 
     def test_gaudi_competitive_with_a100_end_to_end(self, gaudi, a100):
@@ -98,6 +99,54 @@ class TestPreemption:
         report = engine.run(requests)
         assert report.preemptions > 0
         assert all(r.done for r in requests)
+
+    def test_preemption_recompute_lifecycle(self, gaudi):
+        """A preempted request is re-admitted, re-prefilled, and its
+        recorded TTFT reflects the restart."""
+        # 5 blocks of 128 tokens: two 256-token prefills fit (2 blocks
+        # each), but as soon as both grow past a block boundary the pool
+        # is exhausted and the younger request must be preempted.
+        engine = LlmServingEngine(
+            LlamaCostModel(LLAMA_3_1_8B, gaudi),
+            DecodeAttention.PAGED_OPT,
+            max_decode_batch=2,
+            num_kv_blocks=5,
+        )
+        requests = fixed_length_requests(2, 256, 200)
+        survivor, victim = requests
+        report = engine.run(requests)
+        # the younger request thrashes in and out of the pool until the
+        # survivor finishes and frees its blocks -- every cycle is a full
+        # recompute restart, and the engine counts each one.
+        assert victim.restarts >= 1
+        assert survivor.restarts == 0
+        assert report.preemptions == victim.restarts
+        assert all(r.done for r in requests)
+        assert all(r.generated == 200 for r in requests)
+        # the victim's first token only lands after its last re-prefill
+        assert victim.ttft > survivor.ttft
+
+    def test_preemption_via_scheduler_api(self, gaudi):
+        """ContinuousBatchingScheduler.preempt owns the whole victim
+        hand-back: engine internals never touch waiting/running lists."""
+        from repro.serving import BlockManager, ContinuousBatchingScheduler
+
+        scheduler = ContinuousBatchingScheduler(
+            BlockManager(num_blocks=16, block_size=128), max_decode_batch=4
+        )
+        requests = fixed_length_requests(2, 100, 10)
+        for request in requests:
+            scheduler.submit(request)
+        scheduler.step(0.0)
+        assert scheduler.running == requests
+        victim = requests[-1]
+        scheduler.preempt(victim)
+        assert victim not in scheduler.running
+        assert scheduler.waiting[0] is victim
+        assert victim.restarts == 1
+        assert victim.generated == 0
+        with pytest.raises(ValueError):
+            scheduler.preempt(victim)  # not running any more
 
 
 class TestRecSysServer:

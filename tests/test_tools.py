@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.graph import Engine, Graph, GraphCompiler
-from repro.hw.device import Gaudi2Device
 from repro.hw.power import ActivityProfile
 from repro.hw.spec import A100_SPEC, GAUDI2_SPEC
 from repro.tools import GaudiProfiler, chrome_trace, hl_smi, nvidia_smi

@@ -1,6 +1,5 @@
 """TPC instruction-set model."""
 
-import pytest
 
 from repro.hw.spec import DType
 from repro.tpc.isa import ARCH_LATENCY, Instruction, MemoryKind, Opcode, Slot
