@@ -33,8 +33,8 @@ def main() -> None:
     rows = []
     for m, k, n in [(512, 512, 512), (2048, 2048, 2048), (8192, 8192, 8192),
                     (8192, 8192, 16)]:
-        pg = run_gemm(gaudi, m, k, n)
-        pa = run_gemm(a100, m, k, n)
+        pg = run_gemm(device=gaudi, m=m, k=k, n=n)
+        pa = run_gemm(device=a100, m=m, k=k, n=n)
         rows.append((
             f"{m}x{k}x{n}",
             f"{pg.achieved_tflops:.0f} TF ({pg.utilization:.0%})",

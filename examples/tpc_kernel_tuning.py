@@ -27,17 +27,19 @@ def best_practices_sweep() -> None:
     rows = []
     # Best practice 1: align accesses to the 256 B granularity.
     for granularity in (32, 128, 256):
-        result = run_stream(gaudi, StreamOp.TRIAD, N, access_bytes=granularity,
-                            num_cores=1)
+        result = run_stream(device=gaudi, op=StreamOp.TRIAD, num_elements=N,
+                            access_bytes=granularity, num_cores=1)
         rows.append(("granularity", f"{granularity}B", 1, 1,
                      f"{result.achieved_gflops:.1f}"))
     # Best practice 2: unroll the loop.
     for unroll in (1, 4):
-        result = run_stream(gaudi, StreamOp.SCALE, N, unroll=unroll, num_cores=1)
+        result = run_stream(device=gaudi, op=StreamOp.SCALE, num_elements=N, unroll=unroll,
+                            num_cores=1)
         rows.append(("unroll", "256B", unroll, 1, f"{result.achieved_gflops:.1f}"))
     # Then scale out across TPCs.
     for cores in (4, 12, 24):
-        result = run_stream(gaudi, StreamOp.TRIAD, N, unroll=4, num_cores=cores)
+        result = run_stream(device=gaudi, op=StreamOp.TRIAD, num_elements=N, unroll=4,
+                            num_cores=cores)
         rows.append(("scale-out", "256B", 4, cores, f"{result.achieved_gflops:.1f}"))
     print(render_table(
         ["Knob", "Access", "Unroll", "TPCs", "GFLOPS"],

@@ -1,0 +1,55 @@
+"""Backward-compatibility shims for the ``run_*`` API redesign.
+
+The redesigned entry points take keyword-only parameters (so every
+call names what it passes, and ``ctx=RunContext(...)`` slots in
+anywhere).  Old positional call sites keep working through
+:func:`positional_shim`, which maps leading positional arguments onto
+their historical parameter names and emits a :class:`DeprecationWarning`
+pointing at the caller.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable
+
+
+def positional_shim(*names: str) -> Callable:
+    """Wrap a keyword-only function to accept legacy positional args.
+
+    ``names`` lists the historical positional-parameter order.  A call
+    with positional arguments maps them onto those names, warns with
+    ``DeprecationWarning`` (attributed to the caller), and forwards
+    everything as keywords; keyword-only calls pass through untouched.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if args:
+                if len(args) > len(names):
+                    raise TypeError(
+                        f"{fn.__name__}() takes at most {len(names)} legacy "
+                        f"positional arguments ({len(args)} given)"
+                    )
+                warnings.warn(
+                    f"calling {fn.__name__}() with positional arguments is "
+                    f"deprecated; use keyword arguments "
+                    f"({', '.join(names[: len(args)])}=...) and pass shared "
+                    f"state via ctx=RunContext(...)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                for name, value in zip(names, args):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got multiple values for argument {name!r}"
+                        )
+                    kwargs[name] = value
+            return fn(**kwargs)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

@@ -7,12 +7,18 @@ Subcommands::
     python -m repro figures [--id fig08] [--full] [--out DIR]
     python -m repro serve --model 8b --device gaudi2 --max-batch 64
     python -m repro chaos --seed 0 --fail-device 3@t=2.0
+    python -m repro trace --fast --out trace.json
+    python -m repro top --device gaudi2 --samples 10
     python -m repro smi --workload llm --device gaudi2
+
+Every report-producing subcommand renders through the shared
+:func:`repro.api.render_report` path (``--format text|json|csv``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import List, Optional
@@ -66,7 +72,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
     for figure_id in figure_ids:
-        result = run_figure(figure_id, fast=not args.full)
+        result = run_figure(figure_id=figure_id, fast=not args.full)
         print(f"== {figure_id}: {result.title} ==")
         for key, value in result.summary.items():
             print(f"   {key} = {value:.4g}")
@@ -77,14 +83,16 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _build_serving_engine(args: argparse.Namespace, ctx=None):
+    """One serving engine per the shared serve/trace/top knobs."""
     from repro.models.llama import (
         LLAMA_3_1_70B,
         LLAMA_3_1_8B,
         DecodeAttention,
         LlamaCostModel,
     )
-    from repro.serving import LlmServingEngine, dynamic_sonnet_requests
+    from repro.models.tensor_parallel import TensorParallelConfig
+    from repro.serving import LlmServingEngine
 
     config = LLAMA_3_1_8B if args.model == "8b" else LLAMA_3_1_70B
     device = get_device(args.device)
@@ -93,22 +101,98 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if device.name == "A100"
         else DecodeAttention.PAGED_OPT
     )
+    tp = TensorParallelConfig.for_device(device, getattr(args, "tp", 1))
     engine = LlmServingEngine(
-        LlamaCostModel(config, device), attention, max_decode_batch=args.max_batch
+        LlamaCostModel(config, device, tp=tp),
+        attention,
+        max_decode_batch=args.max_batch,
+        ctx=ctx,
     )
+    return engine
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import render_report
+    from repro.serving import dynamic_sonnet_requests
+
+    engine = _build_serving_engine(args)
     report = engine.run(dynamic_sonnet_requests(args.requests, seed=args.seed))
-    print(f"{config.name} on {device.name} (max decode batch {args.max_batch}):")
-    print(f"  throughput : {report.throughput_tokens_per_s:.0f} tokens/s")
-    print(f"  mean TTFT  : {report.mean_ttft:.3f} s")
-    print(f"  mean TPOT  : {report.mean_tpot * 1e3:.1f} ms")
-    print(f"  power      : {report.average_power:.0f} W")
-    print(f"  energy     : {report.energy_per_token * 1e3:.2f} mJ/token")
+    print(render_report(report, args.format))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.api import RunContext
+    from repro.serving import dynamic_sonnet_requests
+
+    ctx = RunContext.create(seed=args.seed, device=args.device)
+    engine = _build_serving_engine(args, ctx=ctx)
+    num_requests = min(args.requests, 16) if args.fast else args.requests
+    engine.run(dynamic_sonnet_requests(num_requests, seed=args.seed))
+    out = pathlib.Path(args.out)
+    out.write_text(ctx.chrome_trace() + "\n")
+    print(ctx.tracer_summary())
+    print()
+    print(ctx.metrics_summary())
+    print(f"chrome trace written to {out} (open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.api import RunContext
+    from repro.serving import dynamic_sonnet_requests
+
+    ctx = RunContext.create(seed=args.seed, device=args.device)
+    engine = _build_serving_engine(args, ctx=ctx)
+    engine.run(dynamic_sonnet_requests(args.requests, seed=args.seed))
+    tracer = ctx.tracer
+    closed = [s for s in tracer.spans if s.end is not None]
+    total = max((s.end for s in closed), default=0.0)
+    if total <= 0:
+        print("no virtual time elapsed; nothing to sample")
+        return 1
+
+    def busy_fraction(name: str, w0: float, w1: float) -> float:
+        # Filter by span *name*, not category: the engine category nests
+        # (run > step > prefill/decode), which would multiply-count.
+        busy = sum(
+            max(0.0, min(s.end, w1) - max(s.start, w0))
+            for s in closed
+            if s.name == name or (name == "collective" and s.category == name)
+        )
+        return busy / (w1 - w0)
+
+    def counter_at(name: str, w1: float) -> float:
+        value = 0.0
+        for sample in tracer.counters:
+            if sample.name == name and sample.t <= w1:
+                value = sample.value
+        return value
+
+    rows = []
+    for i in range(args.samples):
+        w0 = total * i / args.samples
+        w1 = total * (i + 1) / args.samples
+        rows.append((
+            f"{w1:.4f}",
+            f"{counter_at('power.watts', w1):.0f}",
+            f"{counter_at('kv.allocated_blocks', w1):.0f}",
+            f"{counter_at('batch.running', w1):.0f}",
+            f"{busy_fraction('prefill', w0, w1):.0%}",
+            f"{busy_fraction('decode.step', w0, w1):.0%}",
+            f"{busy_fraction('collective', w0, w1):.0%}",
+        ))
+    print(render_table(
+        ["Time (s)", "Power (W)", "KV blocks", "Batch",
+         "Prefill", "Decode", "Collective"],
+        rows,
+        title=f"repro top: {args.model} on {args.device} (virtual time)",
+    ))
     return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    import json
-
+    from repro.api import render_report
     from repro.faults import ChaosConfig, FaultPlan, run_chaos
 
     plan = FaultPlan.from_specs(
@@ -135,11 +219,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         admission_watermark=args.watermark,
         plan=plan,
     )
-    report = run_chaos(config)
-    if args.json:
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
-    else:
-        print(report.render())
+    report = run_chaos(config=config)
+    fmt = "json" if args.json else args.format
+    print(render_report(report, fmt))
     return 0
 
 
@@ -195,10 +277,48 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="run the vLLM-style serving simulation")
     serve.add_argument("--model", default="8b", choices=["8b", "70b"])
     serve.add_argument("--device", default="gaudi2")
+    serve.add_argument("--tp", type=int, default=1, help="tensor-parallel degree")
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument("--requests", type=int, default=64)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--format", default="text", choices=["text", "json", "csv"])
     serve.set_defaults(fn=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced serving run; exports chrome://tracing JSON",
+        description=(
+            "Run the serving simulation with a RunContext bound, then "
+            "export the virtual-clock trace (engine steps, prefill/decode "
+            "phases, scheduler events, KV-pool occupancy, collectives, "
+            "and per-step power) as chrome://tracing JSON."
+        ),
+    )
+    trace.add_argument("--model", default="8b", choices=["8b", "70b"])
+    trace.add_argument("--device", default="gaudi2")
+    trace.add_argument("--tp", type=int, default=4, help="tensor-parallel degree")
+    trace.add_argument("--max-batch", type=int, default=32)
+    trace.add_argument("--requests", type=int, default=64)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--fast", action="store_true",
+                       help="cap the workload at 16 requests")
+    trace.add_argument("--out", default="trace.json",
+                       help="output path for the chrome trace")
+    trace.set_defaults(fn=_cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="hl-smi/top style sampled view of a traced serving run",
+    )
+    top.add_argument("--model", default="8b", choices=["8b", "70b"])
+    top.add_argument("--device", default="gaudi2")
+    top.add_argument("--tp", type=int, default=4, help="tensor-parallel degree")
+    top.add_argument("--max-batch", type=int, default=32)
+    top.add_argument("--requests", type=int, default=32)
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--samples", type=int, default=10,
+                     help="number of virtual-time sampling windows")
+    top.set_defaults(fn=_cmd_top)
 
     chaos = sub.add_parser(
         "chaos",
@@ -242,7 +362,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--kernel-fault-rate", type=float, default=0.0,
                        help="per-step transient kernel-failure probability")
     chaos.add_argument("--json", action="store_true",
-                       help="emit the report as JSON instead of text")
+                       help="emit the report as JSON (same as --format json)")
+    chaos.add_argument("--format", default="text", choices=["text", "json", "csv"])
     chaos.set_defaults(fn=_cmd_chaos)
 
     smi = sub.add_parser("smi", help="hl-smi / nvidia-smi style readout")
@@ -256,7 +377,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

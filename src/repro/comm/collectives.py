@@ -129,13 +129,31 @@ def collective_time(
     participants: int,
     topology: Topology,
     efficiency: float = 1.0,
+    metrics=None,
 ) -> CollectiveResult:
-    """Dispatch to the algorithm family matching the topology."""
+    """Dispatch to the algorithm family matching the topology.
+
+    With a :class:`~repro.obs.metrics.MetricsRegistry` passed as
+    ``metrics``, the call is counted under ``collectives.*`` (per-op
+    call counts, bytes moved, and a seconds histogram).
+    """
     if isinstance(topology, P2PMeshTopology):
-        return mesh_collective_time(op, size_bytes, participants, topology, efficiency)
-    if isinstance(topology, SwitchTopology):
-        return ring_collective_time(op, size_bytes, participants, topology, efficiency)
-    raise TypeError(f"unsupported topology {type(topology).__name__}")
+        result = mesh_collective_time(op, size_bytes, participants, topology, efficiency)
+    elif isinstance(topology, SwitchTopology):
+        result = ring_collective_time(op, size_bytes, participants, topology, efficiency)
+    else:
+        raise TypeError(f"unsupported topology {type(topology).__name__}")
+    record_collective(result, metrics)
+    return result
+
+
+def record_collective(result: CollectiveResult, metrics) -> None:
+    """Account one collective in the metrics registry (None = no-op)."""
+    if metrics is None:
+        return
+    metrics.counter(f"collectives.{result.op.value}.calls").inc()
+    metrics.counter(f"collectives.{result.op.value}.bytes").inc(result.size_bytes)
+    metrics.histogram("collectives.seconds").observe(result.time)
 
 
 def effective_participants(topology: Topology, requested: int) -> int:
@@ -155,13 +173,15 @@ def degraded_collective_time(
     participants: int,
     topology: Topology,
     efficiency: float = 1.0,
+    metrics=None,
 ) -> CollectiveResult:
     """Collective over whatever subset of ``participants`` is still up.
 
     With fewer than two survivors there is nothing to exchange: the
-    result is a zero-time, zero-step collective.
+    result is a zero-time, zero-step collective (not counted in
+    ``metrics`` -- no bytes moved).
     """
     alive = effective_participants(topology, participants)
     if alive < 2:
         return CollectiveResult(op, size_bytes, max(alive, 0), 0.0, steps=0)
-    return collective_time(op, size_bytes, alive, topology, efficiency)
+    return collective_time(op, size_bytes, alive, topology, efficiency, metrics)

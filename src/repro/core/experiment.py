@@ -73,6 +73,20 @@ class ExperimentResult:
             default=str,
         )
 
+    def render(self) -> str:
+        """Rows as a fixed-width ASCII table (the Report protocol's
+        text form)."""
+        from repro.core.report import render_table
+
+        if not self.rows:
+            raise ValueError(f"experiment {self.name!r} has no rows to render")
+        names = self.fieldnames()
+        return render_table(
+            names,
+            [[row.get(name, "") for name in names] for row in self.rows],
+            title=self.name,
+        )
+
 
 class Experiment:
     """A named measurement over a parameter sweep.

@@ -16,6 +16,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.api.compat import positional_shim
 from repro.comm.api import HcclLibrary, NcclLibrary
 from repro.comm.topology import (
     DegradedMeshTopology,
@@ -99,8 +100,13 @@ def _shed_reason_counts(requests: List[Request]) -> Counter:
     return counts
 
 
-def run_chaos(config: ChaosConfig) -> ResilienceReport:
-    """Run one fault-injected serving experiment end to end."""
+@positional_shim("config")
+def run_chaos(*, config: ChaosConfig, ctx=None) -> ResilienceReport:
+    """Run one fault-injected serving experiment end to end.
+
+    With a :class:`~repro.api.RunContext` passed as ``ctx``, the
+    serving run records spans and metrics through it.
+    """
     device = get_device(config.device)
     health = FabricHealth()
     tp_config, healthy_lib, degraded_lib = _build_collectives(config, health)
@@ -123,6 +129,7 @@ def run_chaos(config: ChaosConfig) -> ResilienceReport:
         num_kv_blocks=config.num_kv_blocks,
         policy=policy,
         injector=injector,
+        ctx=ctx,
     )
     requests = dynamic_sonnet_requests(config.num_requests, seed=config.seed)
     if config.rate is not None:

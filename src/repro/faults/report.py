@@ -9,6 +9,7 @@ so the same seed produces a byte-identical report.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -104,6 +105,19 @@ class ResilienceReport:
             "shed_reasons": dict(self.shed_reasons),
             "fault_log": list(self.fault_log),
         }
+
+    def to_json(self) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """The report as one CSV row (nested fields JSON-encoded)."""
+        from repro.api.report import rows_to_csv
+
+        row = self.to_dict()
+        row["shed_reasons"] = json.dumps(row["shed_reasons"], sort_keys=True)
+        row["fault_log"] = json.dumps(row["fault_log"])
+        return rows_to_csv([row])
 
     def render(self) -> str:
         """Fixed-format text report (byte-identical per seed)."""

@@ -30,4 +30,4 @@ __all__ = ["FIGURES", "FigureResult", "generate_all", "get_figure", "run_figure"
 
 def generate_all(fast: bool = True) -> dict:
     """Run every registered table/figure; returns {id: FigureResult}."""
-    return {figure_id: run_figure(figure_id, fast=fast) for figure_id in sorted(FIGURES)}
+    return {figure_id: run_figure(figure_id=figure_id, fast=fast) for figure_id in sorted(FIGURES)}

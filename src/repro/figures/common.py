@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
+from repro.api.compat import positional_shim
+
 
 @dataclass
 class FigureResult:
@@ -48,6 +50,16 @@ def get_figure(figure_id: str) -> Callable[[bool], FigureResult]:
         ) from None
 
 
-def run_figure(figure_id: str, fast: bool = True) -> FigureResult:
-    """Run one registered table/figure regeneration."""
-    return get_figure(figure_id)(fast)
+@positional_shim("figure_id", "fast")
+def run_figure(*, figure_id: str, fast: bool = True, ctx=None) -> FigureResult:
+    """Run one registered table/figure regeneration.
+
+    With a :class:`~repro.api.RunContext` passed as ``ctx``, the
+    regeneration is counted under ``figures.*`` in its metrics
+    registry.
+    """
+    result = get_figure(figure_id)(fast)
+    if ctx is not None and ctx.metrics is not None:
+        ctx.metrics.counter("figures.runs").inc()
+        ctx.metrics.counter(f"figures.{figure_id}.runs").inc()
+    return result

@@ -31,10 +31,10 @@ def run(fast: bool = True) -> FigureResult:
     for device in (gaudi, a100):
         roofline = Roofline.for_device(device.spec)
         for size in square:
-            point = run_gemm(device, size, size, size)
+            point = run_gemm(device=device, m=size, k=size, n=size)
             rows.append(_row(point, roofline, "square"))
         for size in irregular:
-            point = run_gemm(device, size, size, IRREGULAR_N)
+            point = run_gemm(device=device, m=size, k=size, n=IRREGULAR_N)
             rows.append(_row(point, roofline, "irregular"))
 
     table = render_table(

@@ -27,14 +27,14 @@ def run(fast: bool = True) -> FigureResult:
     rows = []
     for device in (gaudi, a100):
         for s in sizes:
-            square = run_gemm(device, s, s, s)
+            square = run_gemm(device=device, m=s, k=s, n=s)
             rows.append(
                 {"device": device.name, "shape": "square", "m": s, "k": s, "n": s,
                  "utilization": square.utilization}
             )
         for m in sizes:
             for k in sizes:
-                irregular = run_gemm(device, m, k, _IRREGULAR_N)
+                irregular = run_gemm(device=device, m=m, k=k, n=_IRREGULAR_N)
                 rows.append(
                     {"device": device.name, "shape": "irregular", "m": m, "k": k,
                      "n": _IRREGULAR_N, "utilization": irregular.utilization}

@@ -37,21 +37,21 @@ def run(fast: bool = True) -> FigureResult:
     # (a) granularity sweep, single TPC, no unrolling.
     for op in StreamOp:
         for g in granularities:
-            result = run_stream(gaudi, op, n, access_bytes=g, unroll=1, num_cores=1)
+            result = run_stream(device=gaudi, op=op, num_elements=n, access_bytes=g, unroll=1, num_cores=1)
             rows.append({"panel": "a", "op": op.value, "granularity": g,
                          "unroll": 1, "cores": 1, "gflops": result.achieved_gflops})
 
     # (b) unroll sweep, single TPC, 256 B granularity.
     for op in StreamOp:
         for u in _UNROLLS:
-            result = run_stream(gaudi, op, n, unroll=u, num_cores=1)
+            result = run_stream(device=gaudi, op=op, num_elements=n, unroll=u, num_cores=1)
             rows.append({"panel": "b", "op": op.value, "granularity": 256,
                          "unroll": u, "cores": 1, "gflops": result.achieved_gflops})
 
     # (c) weak scaling across TPCs (unrolled kernels).
     for op in StreamOp:
         for cores in tpc_counts:
-            result = run_stream(gaudi, op, n * cores // 24 + 1, unroll=4, num_cores=cores)
+            result = run_stream(device=gaudi, op=op, num_elements=n * cores // 24 + 1, unroll=4, num_cores=cores)
             rows.append({"panel": "c", "op": op.value, "granularity": 256,
                          "unroll": 4, "cores": cores, "gflops": result.achieved_gflops})
 
@@ -59,7 +59,7 @@ def run(fast: bool = True) -> FigureResult:
     for op in StreamOp:
         for chain in _INTENSITY_CHAINS:
             for device in (gaudi, a100):
-                result = run_stream(device, op, n, unroll=4, compute_chain=chain)
+                result = run_stream(device=device, op=op, num_elements=n, unroll=4, compute_chain=chain)
                 peak = device.peak_vector_flops / 1e9
                 rows.append({
                     "panel": "def", "op": op.value, "device": device.name,

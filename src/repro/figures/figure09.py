@@ -31,7 +31,8 @@ def run(fast: bool = True) -> FigureResult:
             for size in sizes:
                 for fraction in fractions:
                     result = run_gather_scatter(
-                        device, size, fraction_accessed=fraction, is_scatter=is_scatter
+                        device=device, vector_bytes=size,
+                        fraction_accessed=fraction, is_scatter=is_scatter,
                     )
                     rows.append({
                         "device": device.name,

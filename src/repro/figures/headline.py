@@ -49,11 +49,11 @@ def run(fast: bool = True) -> FigureResult:
             sdk_vs_a100.append(t_a100 / t_sdk)
             single_vs_sdk.append(t_sdk / t_single)
 
-    fig15 = run_figure("fig15", fast=fast)
-    fig17 = run_figure("fig17", fast=fast)
-    fig12 = run_figure("fig12", fast=fast)
-    fig13 = run_figure("fig13", fast=fast)
-    fig11 = run_figure("fig11", fast=fast)
+    fig15 = run_figure(figure_id="fig15", fast=fast)
+    fig17 = run_figure(figure_id="fig17", fast=fast)
+    fig12 = run_figure(figure_id="fig12", fast=fast)
+    fig13 = run_figure(figure_id="fig13", fast=fast)
+    fig11 = run_figure(figure_id="fig11", fast=fast)
 
     summary = {
         "sdk_embedding_vs_a100": arithmetic_mean(sdk_vs_a100),

@@ -68,7 +68,7 @@ TRACKED_CLAIMS: Tuple[TrackedClaim, ...] = (
 def collect_measurements(fast: bool = True) -> Dict[Tuple[str, str], float]:
     """Run every figure a tracked claim needs; returns measured values."""
     needed = sorted({claim.figure_id for claim in TRACKED_CLAIMS})
-    summaries = {figure_id: run_figure(figure_id, fast=fast).summary
+    summaries = {figure_id: run_figure(figure_id=figure_id, fast=fast).summary
                  for figure_id in needed}
     return {
         (claim.figure_id, claim.summary_key):

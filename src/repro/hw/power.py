@@ -115,6 +115,18 @@ class ActivityAccumulator:
         self.memory_seconds += other.memory_seconds
         self.comm_seconds += other.comm_seconds
 
+    def record_to(self, metrics) -> None:
+        """Add this accumulator's engine-seconds to a
+        :class:`~repro.obs.metrics.MetricsRegistry` (the MME/TPC/HBM
+        busy-time counters of the observability layer); no-op when
+        ``metrics`` is None."""
+        if metrics is None:
+            return
+        metrics.counter("activity.mme_busy_seconds").inc(self.matrix_seconds)
+        metrics.counter("activity.tpc_busy_seconds").inc(self.vector_seconds)
+        metrics.counter("activity.hbm_busy_seconds").inc(self.memory_seconds)
+        metrics.counter("activity.comm_busy_seconds").inc(self.comm_seconds)
+
     def profile(self, wall_seconds: float) -> ActivityProfile:
         if wall_seconds <= 0:
             raise ValueError("wall_seconds must be positive")

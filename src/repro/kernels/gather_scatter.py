@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from repro.api.compat import positional_shim
 from repro.cuda import CudaLauncher
 from repro.hw.device import A100Device, Device, Gaudi2Device
 from repro.tpc import TpcKernelBuilder, TpcLauncher
@@ -123,14 +125,30 @@ def _a100_gather_scatter(
     )
 
 
+@positional_shim(
+    "device", "vector_bytes", "fraction_accessed", "num_vectors", "is_scatter"
+)
 def run_gather_scatter(
-    device: Device,
+    *,
+    device: Optional[Device] = None,
     vector_bytes: int,
     fraction_accessed: float = 1.0,
     num_vectors: int = DEFAULT_NUM_VECTORS,
     is_scatter: bool = False,
+    ctx=None,
 ) -> GatherScatterResult:
-    """Run the Figure 9 microbenchmark on a device model."""
+    """Run the Figure 9 microbenchmark on a device model.
+
+    With a :class:`~repro.api.RunContext` passed as ``ctx``, its device
+    is the default and the kernel is recorded as a sequential
+    ``kernel`` span plus ``kernels.gather_scatter.*`` metrics.
+    """
+    if ctx is not None:
+        device = ctx.resolve_device(device)
+    if device is None:
+        raise TypeError(
+            "run_gather_scatter() needs device= (or a ctx with a default device)"
+        )
     if vector_bytes <= 0:
         raise ValueError("vector_bytes must be positive")
     if not 0.0 < fraction_accessed <= 1.0:
@@ -143,6 +161,16 @@ def run_gather_scatter(
         result = _a100_gather_scatter(vector_bytes, num_accesses, is_scatter, working_set)
     else:
         raise TypeError(f"unsupported device {device!r}")
+    if ctx is not None:
+        if ctx.tracer is not None:
+            ctx.tracer.record_sequential(
+                "scatter" if is_scatter else "gather", "kernel", result.time,
+                device=device.name, vector_bytes=vector_bytes,
+                num_accesses=result.num_accesses,
+            )
+        if ctx.metrics is not None:
+            ctx.metrics.counter("kernels.gather_scatter.calls").inc()
+            ctx.metrics.histogram("kernels.gather_scatter.seconds").observe(result.time)
     return GatherScatterResult(
         device=result.device,
         is_scatter=result.is_scatter,

@@ -9,8 +9,9 @@ equivalent, dispatching to the device's matrix-engine model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
+from repro.api.compat import positional_shim
 from repro.hw.device import Device, MatmulResult
 from repro.hw.spec import DType
 
@@ -47,9 +48,36 @@ def operational_intensity(m: int, k: int, n: int, dtype: DType) -> float:
     return flops / compulsory
 
 
-def run_gemm(device: Device, m: int, k: int, n: int, dtype: DType = DType.BF16) -> GemmPoint:
-    """Execute one GEMM shape on a device model."""
+@positional_shim("device", "m", "k", "n", "dtype")
+def run_gemm(
+    *,
+    device: Optional[Device] = None,
+    m: int,
+    k: int,
+    n: int,
+    dtype: DType = DType.BF16,
+    ctx=None,
+) -> GemmPoint:
+    """Execute one GEMM shape on a device model.
+
+    With a :class:`~repro.api.RunContext` passed as ``ctx``, its
+    device is the default and the kernel is recorded as a sequential
+    ``kernel`` span plus ``kernels.gemm.*`` metrics.
+    """
+    if ctx is not None:
+        device = ctx.resolve_device(device)
+    if device is None:
+        raise TypeError("run_gemm() needs device= (or a ctx with a default device)")
     result: MatmulResult = device.gemm(m, k, n, dtype)
+    if ctx is not None:
+        if ctx.tracer is not None:
+            ctx.tracer.record_sequential(
+                "gemm", "kernel", result.time,
+                device=device.name, m=m, k=k, n=n, dtype=dtype.name,
+            )
+        if ctx.metrics is not None:
+            ctx.metrics.counter("kernels.gemm.calls").inc()
+            ctx.metrics.histogram("kernels.gemm.seconds").observe(result.time)
     return GemmPoint(
         device=device.name,
         m=m,
@@ -69,7 +97,7 @@ def sweep_square(
     device: Device, sizes: Iterable[int] = SQUARE_SIZES, dtype: DType = DType.BF16
 ) -> List[GemmPoint]:
     """The square-shaped GEMM sweep of Figure 4 (square markers)."""
-    return [run_gemm(device, s, s, s, dtype) for s in sizes]
+    return [run_gemm(device=device, m=s, k=s, n=s, dtype=dtype) for s in sizes]
 
 
 def sweep_irregular(
@@ -79,7 +107,7 @@ def sweep_irregular(
     dtype: DType = DType.BF16,
 ) -> List[GemmPoint]:
     """The irregular (tall-skinny, N=16) GEMM sweep of Figure 4."""
-    return [run_gemm(device, s, s, n, dtype) for s in sizes]
+    return [run_gemm(device=device, m=s, k=s, n=n, dtype=dtype) for s in sizes]
 
 
 def utilization_grid(
@@ -88,6 +116,6 @@ def utilization_grid(
 ) -> List[List[float]]:
     """Compute-utilization heatmap over (M, N) with fixed K (Figures 5, 7(b))."""
     return [
-        [run_gemm(device, m, k, n, dtype).utilization for n in n_sizes]
+        [run_gemm(device=device, m=m, k=k, n=n, dtype=dtype).utilization for n in n_sizes]
         for m in m_sizes
     ]

@@ -16,6 +16,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.api.compat import positional_shim
 from repro.cuda import CudaLauncher
 from repro.hw.device import A100Device, Device, Gaudi2Device
 from repro.hw.spec import DType
@@ -197,8 +198,13 @@ def _a100_stream(
     )
 
 
+@positional_shim(
+    "device", "op", "num_elements", "access_bytes", "unroll",
+    "num_cores", "dtype", "compute_chain",
+)
 def run_stream(
-    device: Device,
+    *,
+    device: Optional[Device] = None,
     op: StreamOp,
     num_elements: int = DEFAULT_NUM_ELEMENTS,
     access_bytes: int = MAX_ACCESS_BYTES,
@@ -206,20 +212,39 @@ def run_stream(
     num_cores: Optional[int] = None,
     dtype: DType = DType.BF16,
     compute_chain: int = 1,
+    ctx=None,
 ) -> StreamResult:
     """Run one STREAM kernel on a device model.
 
     ``compute_chain`` repeats the arithmetic per loaded element to raise
-    operational intensity, as in the Figure 8(d-f) sweep.
+    operational intensity, as in the Figure 8(d-f) sweep.  With a
+    :class:`~repro.api.RunContext` passed as ``ctx``, its device is the
+    default and the kernel is recorded as a sequential ``kernel`` span
+    plus ``kernels.stream.*`` metrics.
     """
+    if ctx is not None:
+        device = ctx.resolve_device(device)
+    if device is None:
+        raise TypeError("run_stream() needs device= (or a ctx with a default device)")
     if num_elements <= 0:
         raise ValueError("num_elements must be positive")
     if compute_chain <= 0:
         raise ValueError("compute_chain must be positive")
     if isinstance(device, Gaudi2Device):
-        return _gaudi_stream(
+        result = _gaudi_stream(
             op, num_elements, access_bytes, unroll, num_cores, dtype, compute_chain
         )
-    if isinstance(device, A100Device):
-        return _a100_stream(op, num_elements, num_cores, dtype, compute_chain)
-    raise TypeError(f"unsupported device {device!r}")
+    elif isinstance(device, A100Device):
+        result = _a100_stream(op, num_elements, num_cores, dtype, compute_chain)
+    else:
+        raise TypeError(f"unsupported device {device!r}")
+    if ctx is not None:
+        if ctx.tracer is not None:
+            ctx.tracer.record_sequential(
+                f"stream.{op.value}", "kernel", result.time,
+                device=device.name, num_elements=num_elements, unroll=unroll,
+            )
+        if ctx.metrics is not None:
+            ctx.metrics.counter("kernels.stream.calls").inc()
+            ctx.metrics.histogram("kernels.stream.seconds").observe(result.time)
+    return result

@@ -10,8 +10,8 @@ with TP degree (Figure 12(a)).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.comm import CollectiveLibrary, HcclLibrary, NcclLibrary
 from repro.hw.device import A100Device, Device, Gaudi2Device
@@ -19,10 +19,26 @@ from repro.hw.device import A100Device, Device, Gaudi2Device
 
 @dataclass
 class TensorParallelConfig:
-    """TP degree plus the collective library serving it."""
+    """TP degree plus the collective library serving it.
+
+    With observability bound (:meth:`bind_observability`), every
+    AllReduce is counted in the metrics registry and queued as a
+    pending ``(op, seconds, bytes)`` event the serving engine drains
+    into collective spans on its virtual clock.
+    """
 
     degree: int = 1
     library: Optional[CollectiveLibrary] = None
+    #: Metrics registry recording per-collective counters (None = off).
+    metrics: Optional[object] = field(default=None, repr=False, compare=False)
+    #: Whether comm events queue for :meth:`drain_comm_events` (set it
+    #: only when something drains them, or the queue grows unbounded).
+    queue_events: bool = field(default=False, repr=False, compare=False)
+    #: Comm events since the last :meth:`drain_comm_events` call; only
+    #: populated while observability is bound.
+    _pending: List[Tuple[str, float, float]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.degree < 1:
@@ -66,4 +82,27 @@ class TensorParallelConfig:
         participants = self.effective_degree()
         if participants < 2:
             return 0.0
-        return self.library.all_reduce(size_bytes, participants).time
+        time = self.library.all_reduce(size_bytes, participants).time
+        if self.metrics is not None:
+            self.metrics.counter("comm.allreduce.calls").inc()
+            self.metrics.counter("comm.allreduce.bytes").inc(size_bytes)
+            self.metrics.histogram("comm.allreduce.seconds").observe(time)
+        if self.queue_events:
+            self._pending.append(("all_reduce", time, size_bytes))
+        return time
+
+    # -- observability -----------------------------------------------------
+    def bind_observability(self, metrics, queue_events: bool = False) -> None:
+        """Attach a metrics registry (or None to detach); with
+        ``queue_events`` set, comm events also queue for
+        :meth:`drain_comm_events`."""
+        self.metrics = metrics
+        self.queue_events = queue_events
+        self._pending.clear()
+
+    def drain_comm_events(self) -> List[Tuple[str, float, float]]:
+        """Return and clear the ``(op, seconds, bytes)`` events queued
+        since the last drain (the engine turns them into spans)."""
+        events = list(self._pending)
+        self._pending.clear()
+        return events

@@ -1,0 +1,189 @@
+"""Counter/gauge/histogram metrics registry.
+
+The scalar half of the observability layer: where the tracer answers
+*when* (spans on the virtual clock), the registry answers *how much*
+-- KV-pool occupancy, batch sizes, preemptions, MME/TPC busy seconds,
+per-step watts.  Instruments are created lazily by name, so call sites
+need only a registry reference, and a name maps to exactly one
+instrument type for the whole run (re-registering under a different
+type is an error, not a silent aliasing).
+
+All state is plain floats updated deterministically from the virtual
+clock's event order; snapshots sort by name, so same-seed runs render
+and serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.metrics import percentile
+
+
+class Counter:
+    """A monotonically increasing total (events, tokens, retries)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        """Exportable state: ``{"type", "value"}``."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (occupancy, batch size, watts)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+        self._touched = False
+
+    def set(self, value: float) -> None:
+        """Record the current level; the high-water mark is kept."""
+        self.value = float(value)
+        self.max_value = value if not self._touched else max(self.max_value, value)
+        self._touched = True
+
+    def snapshot(self) -> Dict[str, object]:
+        """Exportable state: ``{"type", "value", "max"}``."""
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """A distribution of observations (step times, watts, TTFTs).
+
+    Observations are retained, so any percentile can be computed after
+    the run; serving runs record at most a few thousand samples, which
+    keeps this exact rather than bucketed.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile of the observations (0.0 when empty)."""
+        if not self._values:
+            return 0.0
+        return percentile(sorted(self._values), p)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Exportable summary: count/total/mean/min/max/p50/p99."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Lazily creates and holds named instruments for one run."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter registered under ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge registered under ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram registered under ``name``."""
+        return self._get(name, Histogram)
+
+    def get(self, name: str) -> Optional[object]:
+        """The instrument under ``name``, or None if never created."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        """All registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- export -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Name -> instrument snapshot, in sorted-name order."""
+        return {name: self._instruments[name].snapshot() for name in self.names()}
+
+    def to_json(self) -> str:
+        """The snapshot as deterministic JSON."""
+        return json.dumps(self.snapshot(), indent=1, sort_keys=True)
+
+    def render(self) -> str:
+        """Fixed-format text listing of every instrument."""
+        lines: List[str] = []
+        for name in self.names():
+            snap = self._instruments[name].snapshot()
+            if snap["type"] == "counter":
+                lines.append(f"  {name:<34s} counter    {snap['value']:.6g}")
+            elif snap["type"] == "gauge":
+                lines.append(
+                    f"  {name:<34s} gauge      {snap['value']:.6g} (max {snap['max']:.6g})"
+                )
+            else:
+                lines.append(
+                    f"  {name:<34s} histogram  n={snap['count']} mean={snap['mean']:.6g} "
+                    f"p99={snap['p99']:.6g} max={snap['max']:.6g}"
+                )
+        return "\n".join(lines) if lines else "  (no metrics recorded)"

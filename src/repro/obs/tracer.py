@@ -1,0 +1,241 @@
+"""Virtual-clock span tracer.
+
+The serving engine advances a *virtual* clock, so the tracer never
+consults wall time: every span carries the start/end timestamps the
+instrumented code hands it.  This is the model-level analog of the
+Intel Gaudi Profiler's HW trace (Section 3.2 of the paper): the same
+run that produces a :class:`~repro.serving.engine.ServingReport` also
+produces a hierarchical timeline -- request -> iteration ->
+prefill/decode -> kernel/collective -- exportable as chrome://tracing
+JSON via :mod:`repro.obs.exporters`.
+
+Spans nest through an explicit stack: :meth:`Tracer.begin` parents the
+new span under the innermost open span, :meth:`Tracer.end` closes it.
+:meth:`Tracer.record` emits an already-timed child span without
+touching the stack (used for sub-phase events like collectives whose
+duration the cost model reports after the fact).  Requests, which
+overlap arbitrarily, are tracked as chrome async events via
+:meth:`Tracer.async_begin` / :meth:`Tracer.async_end`.
+
+Everything is deterministic: span ids are sequential, ordering is
+recording order, and no wall-clock or randomness is involved, so two
+same-seed runs export byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One closed or open interval on the virtual clock."""
+
+    span_id: int
+    name: str
+    category: str
+    start: float
+    end: Optional[float] = None
+    parent_id: Optional[int] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in virtual seconds (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of a numeric timeline track (chrome 'C' event)."""
+
+    name: str
+    t: float
+    value: float
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A zero-duration marker (chrome 'i' event)."""
+
+    name: str
+    category: str
+    t: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AsyncEvent:
+    """Begin/end half of an overlapping (async) span, e.g. a request."""
+
+    name: str
+    category: str
+    t: float
+    async_id: int
+    phase: str  # "b" or "e"
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Records hierarchical spans, counters, and events on a virtual clock."""
+
+    #: Truthiness doubles as the fast-path guard in instrumented code:
+    #: ``if tracer: tracer.begin(...)`` costs one attribute test when a
+    #: :class:`NullTracer` (falsy) is bound.
+    enabled = True
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self.process_name = process_name
+        self.spans: List[Span] = []
+        self.counters: List[CounterSample] = []
+        self.instants: List[InstantEvent] = []
+        self.async_events: List[AsyncEvent] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._cursor = 0.0  # sequential clock for stand-alone kernels
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # -- hierarchical spans ----------------------------------------------
+    def begin(self, name: str, category: str, start: float, **args) -> Span:
+        """Open a span at virtual time ``start`` nested under the
+        innermost open span; close it with :meth:`end`."""
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            start=start,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, end: float, **args) -> Span:
+        """Close ``span`` at virtual time ``end``; spans must close in
+        LIFO order (innermost first)."""
+        if not self._stack or self._stack[-1] is not span:
+            raise ValueError(f"span {span.name!r} is not the innermost open span")
+        if end < span.start:
+            raise ValueError(f"span {span.name!r} would end before it starts")
+        self._stack.pop()
+        span.end = end
+        span.args.update(args)
+        return span
+
+    def record(self, name: str, category: str, start: float, end: float, **args) -> Span:
+        """Emit an already-timed span as a child of the innermost open
+        span, without pushing it on the stack."""
+        if end < start:
+            raise ValueError(f"span {name!r} would end before it starts")
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            start=start,
+            end=end,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def record_sequential(self, name: str, category: str, duration: float, **args) -> Span:
+        """Append a span at the tracer's internal cursor and advance it.
+
+        Stand-alone kernel entry points (``run_gemm`` and friends) have
+        no engine clock; laying their invocations end to end yields a
+        deterministic benchmark timeline."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        span = self.record(name, category, self._cursor, self._cursor + duration, **args)
+        self._cursor += duration
+        return span
+
+    # -- flat events ------------------------------------------------------
+    def counter(self, name: str, t: float, value: float) -> None:
+        """Sample a numeric track (rendered as a chrome counter lane)."""
+        self.counters.append(CounterSample(name, t, float(value)))
+
+    def instant(self, name: str, category: str, t: float, **args) -> None:
+        """Drop a zero-duration marker, e.g. a preemption or shed."""
+        self.instants.append(InstantEvent(name, category, t, dict(args)))
+
+    def async_begin(self, name: str, category: str, t: float, async_id: int, **args) -> None:
+        """Open an overlapping span keyed by ``async_id`` (request id)."""
+        self.async_events.append(AsyncEvent(name, category, t, async_id, "b", dict(args)))
+
+    def async_end(self, name: str, category: str, t: float, async_id: int, **args) -> None:
+        """Close the overlapping span opened under ``async_id``."""
+        self.async_events.append(AsyncEvent(name, category, t, async_id, "e", dict(args)))
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        """Number of spans begun but not yet ended."""
+        return len(self._stack)
+
+    def categories(self) -> List[str]:
+        """Distinct span/instant categories in first-seen order."""
+        seen: List[str] = []
+        for span in self.spans:
+            if span.category not in seen:
+                seen.append(span.category)
+        for event in self.instants:
+            if event.category not in seen:
+                seen.append(event.category)
+        return seen
+
+    def category_busy(self, category: str) -> float:
+        """Total closed-span seconds recorded under ``category``."""
+        return sum(s.duration for s in self.spans if s.category == category and s.end is not None)
+
+    def finish(self, end: float) -> None:
+        """Close any spans left open (outermost last) at time ``end``."""
+        while self._stack:
+            self.end(self._stack[-1], end)
+
+
+class NullTracer(Tracer):
+    """A disabled tracer: every method is a no-op, truthiness is False.
+
+    Binding this instead of ``None`` lets instrumented code keep a
+    single code path while the ``if tracer:`` guard still skips all
+    recording work on hot paths.
+    """
+
+    enabled = False
+
+    def begin(self, name: str, category: str, start: float, **args) -> Span:
+        """No-op; returns a throwaway span."""
+        return Span(span_id=0, name=name, category=category, start=start)
+
+    def end(self, span: Span, end: float, **args) -> Span:
+        """No-op."""
+        span.end = end
+        return span
+
+    def record(self, name: str, category: str, start: float, end: float, **args) -> Span:
+        """No-op; returns a throwaway span."""
+        return Span(span_id=0, name=name, category=category, start=start, end=end)
+
+    def counter(self, name: str, t: float, value: float) -> None:
+        """No-op."""
+
+    def instant(self, name: str, category: str, t: float, **args) -> None:
+        """No-op."""
+
+    def async_begin(self, name: str, category: str, t: float, async_id: int, **args) -> None:
+        """No-op."""
+
+    def async_end(self, name: str, category: str, t: float, async_id: int, **args) -> None:
+        """No-op."""
+
+
+#: Shared disabled tracer for unbound call sites.
+NULL_TRACER = NullTracer()

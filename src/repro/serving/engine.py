@@ -115,6 +115,65 @@ class ServingReport:
         """Fraction of submitted requests served to completion."""
         return self.finished_requests / self.num_requests if self.num_requests else 0.0
 
+    # -- Report protocol ----------------------------------------------
+    def to_dict(self) -> dict:
+        """All fields plus the derived rates, as one plain dict."""
+        return {
+            "device": self.device,
+            "attention": self.attention,
+            "num_requests": self.num_requests,
+            "max_decode_batch": self.max_decode_batch,
+            "total_time": round(self.total_time, 9),
+            "total_output_tokens": self.total_output_tokens,
+            "throughput_tokens_per_s": round(self.throughput_tokens_per_s, 6),
+            "requests_per_s": round(self.requests_per_s, 6),
+            "mean_ttft": round(self.mean_ttft, 9),
+            "mean_tpot": round(self.mean_tpot, 9),
+            "average_power": round(self.average_power, 3),
+            "energy_per_token": round(self.energy_per_token, 9),
+            "engine_steps": self.engine_steps,
+            "preemptions": self.preemptions,
+            "finished_requests": self.finished_requests,
+            "shed_requests": self.shed_requests,
+            "failed_requests": self.failed_requests,
+            "unfinished_requests": self.unfinished_requests,
+            "retried_requests": self.retried_requests,
+            "kernel_retries": self.kernel_retries,
+            "device_failures": self.device_failures,
+            "completion_rate": round(self.completion_rate, 6),
+        }
+
+    def to_json(self) -> str:
+        """The report as a JSON document."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """The report as one CSV row."""
+        from repro.api.report import rows_to_csv
+
+        return rows_to_csv([self.to_dict()])
+
+    def render(self) -> str:
+        """Fixed-format text report (byte-identical per seed)."""
+        lines = [
+            f"Serving report: {self.device} "
+            f"({self.attention}, max decode batch {self.max_decode_batch})",
+            f"  requests   : {self.num_requests} submitted | "
+            f"{self.finished_requests} finished | {self.shed_requests} shed | "
+            f"{self.failed_requests} failed | {self.unfinished_requests} unfinished",
+            f"  throughput : {self.throughput_tokens_per_s:.0f} tokens/s over "
+            f"{self.total_time:.4f} s ({self.total_output_tokens} tokens)",
+            f"  mean TTFT  : {self.mean_ttft:.3f} s",
+            f"  mean TPOT  : {self.mean_tpot * 1e3:.1f} ms",
+            f"  power      : {self.average_power:.0f} W",
+            f"  energy     : {self.energy_per_token * 1e3:.2f} mJ/token",
+            f"  engine     : {self.engine_steps} steps | {self.preemptions} "
+            f"preemptions | {self.kernel_retries} kernel retries",
+        ]
+        return "\n".join(lines)
+
 
 class LlmServingEngine:
     """Serves batches of requests over a Llama cost model."""
@@ -128,10 +187,15 @@ class LlmServingEngine:
         num_kv_blocks: Optional[int] = None,
         policy: Optional[ResiliencePolicy] = None,
         injector: Optional[object] = None,
+        ctx: Optional[object] = None,
     ) -> None:
         """``injector`` is a :class:`~repro.faults.injector.FaultInjector`
         (duck-typed so the serving layer stays import-independent of
-        :mod:`repro.faults`)."""
+        :mod:`repro.faults`).  ``ctx`` is a
+        :class:`~repro.api.RunContext`; with one bound, the run records
+        hierarchical spans on the virtual clock and ``engine.*`` /
+        ``kv.*`` / ``scheduler.*`` / ``power.*`` metrics (see
+        :meth:`bind_context`)."""
         self.model = model
         self.attention = attention
         if num_kv_blocks is None:
@@ -148,6 +212,108 @@ class LlmServingEngine:
         self.max_decode_batch = max_decode_batch
         self.fault_stats = FaultStats()
         self._fault_restarted_ids: set = set()
+        self._power_model = PowerModel(self.model.device.spec.power)
+        self.ctx = None
+        self._tracer = None
+        self._metrics = None
+        self._traced_request_ids: set = set()
+        if ctx is not None:
+            self.bind_context(ctx)
+
+    def bind_context(self, ctx) -> None:
+        """Bind a :class:`~repro.api.RunContext` (or None to unbind),
+        propagating its tracer/metrics to the scheduler, KV block
+        manager, and tensor-parallel collective hooks."""
+        self.ctx = ctx
+        self._tracer = ctx.tracer if ctx is not None else None
+        self._metrics = ctx.metrics if ctx is not None else None
+        self.scheduler.bind_observability(self._tracer, self._metrics)
+        self.block_manager.bind_metrics(self._metrics)
+        self.model.tp.bind_observability(
+            self._metrics, queue_events=self._tracer is not None
+        )
+
+    # -- observability helpers -----------------------------------------
+    def _trace_request_begin(self, request: Request, now: float) -> None:
+        """Open the per-request async span on first admission."""
+        if self._tracer is None or request.request_id in self._traced_request_ids:
+            return
+        self._traced_request_ids.add(request.request_id)
+        self._tracer.async_begin(
+            f"request-{request.request_id}",
+            "request",
+            min(request.arrival_time, now),
+            request.request_id,
+            prompt_tokens=request.input_tokens,
+        )
+
+    def _emit_comm_spans(self, end: float) -> None:
+        """Lay the collectives queued during the last model phase as
+        back-to-back spans ending at ``end``.
+
+        The cost model reports AllReduce durations, not timestamps, so
+        the spans are reconstructed at the tail of the phase window --
+        which is where they sit in a real execution: the activation
+        AllReduce follows the sharded matmuls it synchronises."""
+        tracer = self._tracer
+        if tracer is None:
+            return
+        events = self.model.tp.drain_comm_events()
+        if not events:
+            return
+        library = self.model.tp.library
+        prefix = (
+            type(library).__name__.replace("Library", "").lower()
+            if library is not None
+            else "comm"
+        )
+        start = end - sum(seconds for _, seconds, _ in events)
+        for op, seconds, size_bytes in events:
+            tracer.record(
+                f"{prefix}.{op}",
+                "collective",
+                start,
+                start + seconds,
+                size_bytes=size_bytes,
+            )
+            start += seconds
+
+    def _finish_step(
+        self,
+        step_span: Optional[object],
+        step_start: float,
+        now: float,
+        step_activity: Optional[ActivityAccumulator],
+        batch_size: int,
+    ) -> None:
+        """Close one iteration's span and record its samples: a power
+        span on the ``power`` track, counter tracks for watts / KV
+        occupancy / batch size, and the per-step metrics."""
+        tracer = self._tracer
+        metrics = self._metrics
+        if tracer is None and metrics is None:
+            return
+        duration = now - step_start
+        watts = 0.0
+        if step_activity is not None and duration > 0:
+            watts = self._power_model.power(step_activity.profile(duration))
+        stats = self.block_manager.stats()
+        if tracer is not None:
+            tracer.record(
+                "power.sample", "power", step_start, now, watts=round(watts, 3)
+            )
+            tracer.counter("power.watts", now, round(watts, 3))
+            tracer.counter("kv.allocated_blocks", now, stats.allocated_blocks)
+            tracer.counter("batch.running", now, batch_size)
+            if step_span is not None:
+                tracer.end(step_span, now, batch=batch_size)
+        if metrics is not None:
+            metrics.counter("engine.steps").inc()
+            metrics.histogram("engine.batch_size").observe(batch_size)
+            metrics.histogram("power.watts").observe(watts)
+            metrics.gauge("kv.allocated_blocks").set(stats.allocated_blocks)
+            if step_activity is not None:
+                step_activity.record_to(metrics)
 
     @property
     def _graceful(self) -> bool:
@@ -172,65 +338,118 @@ class LlmServingEngine:
         steps = 0
         preemptions = 0
         activity = ActivityAccumulator()
-        while self.scheduler.has_unfinished:
-            now = self._advance_faults(now)
-            self._enforce_deadlines(now)
-            schedule = self.scheduler.step(now)
-            if not schedule.has_work:
-                if not self.scheduler.waiting:
-                    break  # everything retired in this step
-                head = min(self.scheduler.waiting, key=lambda r: r.arrival_time)
-                if head.arrival_time <= now:
-                    # Nothing runs, nothing admits, and the head request
-                    # has already arrived: the pool can never serve it.
-                    reason = (
-                        f"kv-exhausted: {head.context_len} prompt tokens exceed "
-                        "the free KV pool with no running request to retire"
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin(
+                "serving.run", "engine", now,
+                device=self.model.device.name,
+                attention=self.attention.value,
+                requests=len(requests),
+            )
+        try:
+            while self.scheduler.has_unfinished:
+                now = self._advance_faults(now)
+                self._enforce_deadlines(now)
+                schedule = self.scheduler.step(now)
+                if not schedule.has_work:
+                    if not self.scheduler.waiting:
+                        break  # everything retired in this step
+                    head = min(self.scheduler.waiting, key=lambda r: r.arrival_time)
+                    if head.arrival_time <= now:
+                        # Nothing runs, nothing admits, and the head request
+                        # has already arrived: the pool can never serve it.
+                        reason = (
+                            f"kv-exhausted: {head.context_len} prompt tokens exceed "
+                            "the free KV pool with no running request to retire"
+                        )
+                        if self._graceful:
+                            self.scheduler.shed(head, reason)
+                            continue
+                        raise KvCacheError(
+                            f"request {head.request_id} cannot be admitted: {reason}"
+                        )
+                    # All remaining requests arrive later; jump the clock.
+                    now = max(now, head.arrival_time)
+                    continue
+                slowdown = self._slowdown()
+                step_start = now
+                step_span = None
+                step_activity = None
+                if tracer is not None or self._metrics is not None:
+                    step_activity = ActivityAccumulator()
+                if tracer is not None:
+                    step_span = tracer.begin(
+                        "engine.step", "engine", now,
+                        step=steps, admitted=len(schedule.new_requests),
                     )
-                    if self._graceful:
-                        self.scheduler.shed(head, reason)
-                        continue
-                    raise KvCacheError(
-                        f"request {head.request_id} cannot be admitted: {reason}"
+                for request in schedule.new_requests:
+                    # vLLM prefills prompts individually (no padding waste).
+                    # A fault-restarted request recomputes its checkpointed
+                    # tokens too, hence context_len rather than input_tokens.
+                    self._trace_request_begin(request, now)
+                    prefill_span = None
+                    if tracer is not None:
+                        prefill_span = tracer.begin(
+                            "prefill", "engine", now,
+                            request_id=request.request_id,
+                            prompt_tokens=request.context_len,
+                        )
+                    phase = self.model.prefill(1, request.context_len)
+                    now += phase.time * slowdown
+                    activity.merge(phase.activity)
+                    if step_activity is not None:
+                        step_activity.merge(phase.activity)
+                    self._emit_comm_spans(now)
+                    if prefill_span is not None:
+                        tracer.end(prefill_span, now)
+                    request.record_token(now)
+                    self._maybe_checkpoint(request)
+                running = [r for r in schedule.running if r.state is RequestState.RUNNING]
+                if not running:
+                    steps += 1
+                    self._finish_step(step_span, step_start, now, step_activity, 0)
+                    continue
+                preemptions += self._ensure_headroom(running)
+                running = [r for r in running if r.state is RequestState.RUNNING]
+                if not running:
+                    steps += 1
+                    self._finish_step(step_span, step_start, now, step_activity, 0)
+                    continue
+                decode_span = None
+                if tracer is not None:
+                    decode_span = tracer.begin(
+                        "decode.step", "engine", now, batch=len(running)
                     )
-                # All remaining requests arrive later; jump the clock.
-                now = max(now, head.arrival_time)
-                continue
-            slowdown = self._slowdown()
-            for request in schedule.new_requests:
-                # vLLM prefills prompts individually (no padding waste).
-                # A fault-restarted request recomputes its checkpointed
-                # tokens too, hence context_len rather than input_tokens.
-                phase = self.model.prefill(1, request.context_len)
+                phase = self.model.decode_step(
+                    len(running), [r.context_len for r in running], self.attention
+                )
                 now += phase.time * slowdown
                 activity.merge(phase.activity)
-                request.record_token(now)
-                self._maybe_checkpoint(request)
-            running = [r for r in schedule.running if r.state is RequestState.RUNNING]
-            if not running:
+                if step_activity is not None:
+                    step_activity.merge(phase.activity)
+                self._emit_comm_spans(now)
+                if decode_span is not None:
+                    tracer.end(decode_span, now)
                 steps += 1
-                continue
-            preemptions += self._ensure_headroom(running)
-            running = [r for r in running if r.state is RequestState.RUNNING]
-            if not running:
-                steps += 1
-                continue
-            phase = self.model.decode_step(
-                len(running), [r.context_len for r in running], self.attention
-            )
-            now += phase.time * slowdown
-            activity.merge(phase.activity)
-            steps += 1
-            if self.injector is not None and self.injector.kernel_fault():
-                # Transient kernel failure: the step's output is lost
-                # and recomputed next iteration; the time still passed.
-                self.fault_stats.kernel_retries += 1
-                continue
-            for request in running:
-                if not self._grow_kv(request):
+                if self.injector is not None and self.injector.kernel_fault():
+                    # Transient kernel failure: the step's output is lost
+                    # and recomputed next iteration; the time still passed.
+                    self.fault_stats.kernel_retries += 1
+                    if tracer is not None:
+                        tracer.instant("kernel_fault", "engine", now)
+                    if self._metrics is not None:
+                        self._metrics.counter("engine.kernel_retries").inc()
+                    self._finish_step(step_span, step_start, now, step_activity, len(running))
                     continue
-                request.record_token(now)
-                self._maybe_checkpoint(request)
+                for request in running:
+                    if not self._grow_kv(request):
+                        continue
+                    request.record_token(now)
+                    self._maybe_checkpoint(request)
+                self._finish_step(step_span, step_start, now, step_activity, len(running))
+        finally:
+            if tracer is not None:
+                tracer.finish(now)
         return self._build_report(requests, now, steps, preemptions, activity)
 
     # ------------------------------------------------------------------
@@ -247,7 +466,7 @@ class LlmServingEngine:
         past any total-outage window the run had to wait out."""
         if self.injector is None:
             return now
-        self._apply_fault_summary(self.injector.advance(now))
+        self._apply_fault_summary(self.injector.advance(now), now)
         # Total outage: with every device down nothing can execute.  The
         # clock can only move to the next scheduled event (a recovery, if
         # one is coming); a permanent outage fails everything in flight.
@@ -257,12 +476,30 @@ class LlmServingEngine:
                 self.scheduler.fail_all("outage: all devices down")
                 break
             now = max(now, next_time)
-            self._apply_fault_summary(self.injector.advance(now))
+            self._apply_fault_summary(self.injector.advance(now), now)
         return now
 
-    def _apply_fault_summary(self, summary: object) -> None:
+    def _apply_fault_summary(self, summary: object, now: float) -> None:
         self.fault_stats.device_failures += summary.device_failures
         self.fault_stats.device_recoveries += summary.device_recoveries
+        if self._tracer is not None:
+            if summary.device_failures:
+                self._tracer.instant(
+                    "device_failure", "engine", now, count=summary.device_failures
+                )
+            if summary.device_recoveries:
+                self._tracer.instant(
+                    "device_recovery", "engine", now, count=summary.device_recoveries
+                )
+        if self._metrics is not None:
+            if summary.device_failures:
+                self._metrics.counter("engine.device_failures").inc(
+                    summary.device_failures
+                )
+            if summary.device_recoveries:
+                self._metrics.counter("engine.device_recoveries").inc(
+                    summary.device_recoveries
+                )
         if summary.device_failures:
             # A device fault kills the in-flight batch: preempt every
             # runner into checkpointed recompute.
@@ -283,6 +520,13 @@ class LlmServingEngine:
                 request.resubmit(now + delay)
                 self.scheduler.waiting.append(request)
                 self.fault_stats.deadline_retries += 1
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "deadline_retry", "engine", now,
+                        request_id=request.request_id, retry=request.retries,
+                    )
+                if self._metrics is not None:
+                    self._metrics.counter("engine.deadline_retries").inc()
             else:
                 self.scheduler.shed(
                     request,
@@ -329,6 +573,23 @@ class LlmServingEngine:
         mean_ttft = sum(r.ttft for r in finished) / len(finished) if finished else 0.0
         mean_tpot = sum(r.tpot for r in finished) / len(finished) if finished else 0.0
         total_tokens = sum(r.generated for r in requests)
+        if self._tracer is not None:
+            for request in requests:
+                if request.request_id not in self._traced_request_ids:
+                    continue
+                self._tracer.async_end(
+                    f"request-{request.request_id}",
+                    "request",
+                    now,
+                    request.request_id,
+                    state=request.state.value,
+                    generated=request.generated,
+                )
+            self._traced_request_ids.clear()
+        if self._metrics is not None:
+            for request in finished:
+                self._metrics.histogram("request.ttft").observe(request.ttft)
+                self._metrics.histogram("request.tpot").observe(request.tpot)
         profile = activity.profile(now)
         power = PowerModel(self.model.device.spec.power).power(profile)
         return ServingReport(

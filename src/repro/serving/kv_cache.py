@@ -43,9 +43,15 @@ class KvCacheStats:
 
 
 class BlockManager:
-    """Allocates KV-cache blocks to requests."""
+    """Allocates KV-cache blocks to requests.
 
-    def __init__(self, num_blocks: int, block_size: int) -> None:
+    With a :class:`~repro.obs.metrics.MetricsRegistry` bound (see
+    :meth:`bind_metrics`), every allocate/append/free updates the
+    ``kv.*`` counters and occupancy gauge; unbound, the hooks cost one
+    None test.
+    """
+
+    def __init__(self, num_blocks: int, block_size: int, metrics=None) -> None:
         if num_blocks <= 0 or block_size <= 0:
             raise ValueError("num_blocks and block_size must be positive")
         self.num_blocks = num_blocks
@@ -53,6 +59,16 @@ class BlockManager:
         self._free: List[int] = list(range(num_blocks - 1, -1, -1))
         self._tables: Dict[int, List[int]] = {}
         self._tokens: Dict[int, int] = {}
+        self.metrics = metrics
+
+    def bind_metrics(self, metrics) -> None:
+        """Attach a metrics registry (or None to detach)."""
+        self.metrics = metrics
+
+    def _observe_occupancy(self) -> None:
+        self.metrics.gauge("kv.occupancy").set(
+            (self.num_blocks - len(self._free)) / self.num_blocks
+        )
 
     # ------------------------------------------------------------------
     def blocks_needed(self, num_tokens: int) -> int:
@@ -90,6 +106,10 @@ class BlockManager:
         blocks = [self._free.pop() for _ in range(needed)]
         self._tables[request_id] = blocks
         self._tokens[request_id] = num_tokens
+        if self.metrics is not None:
+            self.metrics.counter("kv.allocations").inc()
+            self.metrics.counter("kv.blocks_allocated").inc(needed)
+            self._observe_occupancy()
         return list(blocks)
 
     def append_token(self, request_id: int) -> bool:
@@ -103,6 +123,9 @@ class BlockManager:
             if not self._free:
                 raise KvCacheError("out of KV blocks during decode")
             self._tables[request_id].append(self._free.pop())
+            if self.metrics is not None:
+                self.metrics.counter("kv.blocks_allocated").inc()
+                self._observe_occupancy()
             return True
         return False
 
@@ -112,6 +135,10 @@ class BlockManager:
             raise KvCacheError(f"request {request_id} has no allocation")
         del self._tokens[request_id]
         self._free.extend(reversed(blocks))
+        if self.metrics is not None:
+            self.metrics.counter("kv.frees").inc()
+            self.metrics.counter("kv.blocks_freed").inc(len(blocks))
+            self._observe_occupancy()
 
     def block_list(self, request_id: int) -> List[int]:
         try:

@@ -11,10 +11,11 @@ knee of the latency curve).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.compat import positional_shim
 from repro.core.metrics import goodput_fraction, percentile, slo_violation_rate
 from repro.serving.engine import LlmServingEngine, ServingReport
 from repro.serving.request import Request, RequestState, RetryPolicy
@@ -61,15 +62,25 @@ def poisson_arrivals(
     return list(requests)
 
 
+@positional_shim("engine_factory", "request_factory", "offered_rate", "seed")
 def run_load_test(
+    *,
     engine_factory: Callable[[], LlmServingEngine],
     request_factory: Callable[[], List[Request]],
     offered_rate: float,
-    seed: int = 0,
+    seed: Optional[int] = None,
+    ctx=None,
 ) -> LoadTestReport:
-    """Serve one Poisson-arrival workload at ``offered_rate``."""
+    """Serve one Poisson-arrival workload at ``offered_rate``.
+
+    With a :class:`~repro.api.RunContext` passed as ``ctx``, the run is
+    traced/metered through it and its seed serves as the default.
+    """
+    seed = ctx.resolve_seed(seed) if ctx is not None else (0 if seed is None else seed)
     requests = poisson_arrivals(request_factory(), offered_rate, seed)
     engine = engine_factory()
+    if ctx is not None:
+        engine.bind_context(ctx)
     report: ServingReport = engine.run(requests)
     last_arrival = max(r.arrival_time for r in requests)
     achieved = len(requests) / report.total_time
@@ -111,21 +122,27 @@ class ResilientLoadReport:
         return self.serving.completion_rate
 
 
+@positional_shim("engine_factory", "request_factory", "offered_rate", "seed")
 def run_resilient_load_test(
+    *,
     engine_factory: Callable[[], LlmServingEngine],
     request_factory: Callable[[], List[Request]],
     offered_rate: float,
-    seed: int = 0,
+    seed: Optional[int] = None,
+    ctx=None,
 ) -> ResilientLoadReport:
     """Serve one Poisson workload on a degradation-enabled engine.
 
     The factory must return an engine constructed with a
     :class:`~repro.serving.engine.ResiliencePolicy` (and optionally a
     fault injector); shed requests then surface in the report instead
-    of crashing the run.
+    of crashing the run.  ``ctx`` works as in :func:`run_load_test`.
     """
+    seed = ctx.resolve_seed(seed) if ctx is not None else (0 if seed is None else seed)
     requests = poisson_arrivals(request_factory(), offered_rate, seed)
     engine = engine_factory()
+    if ctx is not None:
+        engine.bind_context(ctx)
     report = engine.run(requests)
     finished = [r for r in requests if r.state is RequestState.FINISHED]
     ttfts = [r.ttft for r in finished]
@@ -168,7 +185,12 @@ def max_sustainable_rate(
         raise ValueError("need 0 < low < high")
     for _ in range(iterations):
         mid = (low + high) / 2
-        report = run_load_test(engine_factory, request_factory, mid, seed)
+        report = run_load_test(
+            engine_factory=engine_factory,
+            request_factory=request_factory,
+            offered_rate=mid,
+            seed=seed,
+        )
         if report.saturated:
             high = mid
         else:

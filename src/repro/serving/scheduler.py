@@ -49,6 +49,16 @@ class ContinuousBatchingScheduler:
         self.admission_watermark = admission_watermark
         self.waiting: List[Request] = []
         self.running: List[Request] = []
+        self.tracer = None
+        self.metrics = None
+        #: Virtual time of the last :meth:`step`; preempt/shed events
+        #: (which take no clock argument) are stamped with it.
+        self._last_now = 0.0
+
+    def bind_observability(self, tracer, metrics) -> None:
+        """Attach a tracer / metrics registry (None disables either)."""
+        self.tracer = tracer
+        self.metrics = metrics
 
     def submit(self, request: Request) -> None:
         if request.state is not RequestState.WAITING:
@@ -68,11 +78,23 @@ class ContinuousBatchingScheduler:
 
     def step(self, now: float) -> ScheduleStep:
         """Admit what fits, retire what finished, return the batch."""
+        self._last_now = now
         # Retire finished requests and release their blocks.
         still_running: List[Request] = []
+        retired = 0
         for request in self.running:
             if request.state is RequestState.FINISHED:
+                blocks = len(self.block_manager.block_list(request.request_id))
                 self.block_manager.free(request.request_id)
+                retired += 1
+                if self.tracer is not None:
+                    # Pool bookkeeping is instantaneous on the virtual
+                    # clock; the zero-width span marks the event on the
+                    # ``kv`` track with its block count.
+                    self.tracer.record(
+                        "kv.free", "kv", now, now,
+                        request_id=request.request_id, blocks=blocks,
+                    )
             else:
                 still_running.append(request)
         self.running = still_running
@@ -90,10 +112,36 @@ class ContinuousBatchingScheduler:
             )
         ):
             request = self.waiting.pop(0)
-            self.block_manager.allocate(request.request_id, request.context_len)
+            blocks = self.block_manager.allocate(request.request_id, request.context_len)
             request.state = RequestState.RUNNING
             admitted.append(request)
+            if self.tracer is not None:
+                self.tracer.record(
+                    "kv.allocate", "kv", now, now,
+                    request_id=request.request_id, blocks=len(blocks),
+                )
         self.running.extend(admitted)
+        if self.tracer is not None:
+            # Scheduling is instantaneous on the virtual clock, so the
+            # span is zero-width; its args carry the admission ledger.
+            self.tracer.record(
+                "scheduler.step",
+                "scheduler",
+                now,
+                now,
+                admitted=len(admitted),
+                retired=retired,
+                running=len(self.running),
+                waiting=len(self.waiting),
+            )
+        if self.metrics is not None:
+            self.metrics.counter("scheduler.steps").inc()
+            if admitted:
+                self.metrics.counter("scheduler.admitted").inc(len(admitted))
+            if retired:
+                self.metrics.counter("scheduler.retired").inc(retired)
+            self.metrics.gauge("scheduler.running").set(len(self.running))
+            self.metrics.gauge("scheduler.waiting").set(len(self.waiting))
         return ScheduleStep(new_requests=admitted, running=list(self.running))
 
     # -- degradation paths ------------------------------------------------
@@ -110,6 +158,16 @@ class ContinuousBatchingScheduler:
         self.block_manager.free(victim.request_id)
         victim.restart(from_checkpoint=from_checkpoint)
         self.waiting.insert(0, victim)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "preempt",
+                "scheduler",
+                self._last_now,
+                request_id=victim.request_id,
+                from_checkpoint=from_checkpoint,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("scheduler.preemptions").inc()
 
     def shed(self, request: Request, reason: str) -> None:
         """Drop a request from either queue with a rejection reason."""
@@ -121,6 +179,16 @@ class ContinuousBatchingScheduler:
         else:
             raise ValueError(f"request {request.request_id} is not scheduled")
         request.shed(reason)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "shed",
+                "scheduler",
+                self._last_now,
+                request_id=request.request_id,
+                reason=reason,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("scheduler.sheds").inc()
 
     def fail_all(self, reason: str) -> List[Request]:
         """Terminally fail every scheduled request (e.g. total outage)."""
@@ -131,4 +199,11 @@ class ContinuousBatchingScheduler:
         self.running = []
         for request in victims:
             request.fail(reason)
+        if victims and self.tracer is not None:
+            self.tracer.instant(
+                "fail_all", "scheduler", self._last_now,
+                victims=len(victims), reason=reason,
+            )
+        if victims and self.metrics is not None:
+            self.metrics.counter("scheduler.failed").inc(len(victims))
         return victims

@@ -25,6 +25,8 @@ from repro.graph.compiler import CompiledGraph
 from repro.graph.ir import Engine
 from repro.hw.device import Gaudi2Device
 from repro.hw.spec import DType
+from repro.obs.exporters import chrome_trace_json
+from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -55,6 +57,47 @@ class ProfileReport:
     @property
     def op_count(self) -> int:
         return len(self.ops)
+
+    # -- Report protocol ----------------------------------------------
+    def to_dict(self) -> Dict:
+        """The report as one plain dict (totals plus per-op records)."""
+        return {
+            "total_us": self.total_us,
+            "op_count": self.op_count,
+            "engine_busy_us": dict(self.engine_busy_us),
+            "ops": [
+                {
+                    "name": op.name,
+                    "engine": op.engine.value,
+                    "start_us": op.start_us,
+                    "duration_us": op.duration_us,
+                    "traffic_bytes": op.traffic_bytes,
+                    "pipelined": op.pipelined,
+                }
+                for op in self.ops
+            ],
+        }
+
+    def to_json(self) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """Per-op rows as CSV."""
+        from repro.api.report import rows_to_csv
+
+        return rows_to_csv(self.to_dict()["ops"])
+
+    def render(self) -> str:
+        """Fixed-format occupancy table."""
+        lines = [f"Profile: {self.op_count} ops over {self.total_us:.1f} us"]
+        for engine in Engine:
+            busy = self.engine_busy_us.get(engine.value, 0.0)
+            lines.append(
+                f"  {engine.value.upper():<4s} busy {busy:10.1f} us "
+                f"({self.occupancy(engine):6.1%})"
+            )
+        return "\n".join(lines)
 
 
 class GaudiProfiler:
@@ -130,58 +173,40 @@ class GaudiProfiler:
         return grouped
 
 
-def chrome_trace(report: ProfileReport, process_name: str = "Gaudi-2") -> str:
-    """Serialize a profile as chrome://tracing JSON.
+def profile_tracer(report: ProfileReport, process_name: str = "Gaudi-2") -> Tracer:
+    """Replay a profile into a :class:`~repro.obs.tracer.Tracer`.
 
-    Engines map to trace threads; pipelined super-ops appear on both
-    engines' rows for the overlapped window, mirroring what the real
-    profiler's combined HW trace shows.
+    Each engine becomes one trace track (allocated dynamically in
+    first-seen order -- an op on an engine outside the classic
+    MME/TPC/DMA trio gets its own track instead of a ``KeyError``);
+    pipelined super-ops appear on both partner engines' tracks for the
+    overlapped window, mirroring the real profiler's combined HW trace.
     """
-    thread_ids = {Engine.MME: 1, Engine.TPC: 2, Engine.DMA: 3}
-    events = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "args": {"name": process_name},
-        }
-    ]
-    for engine, tid in thread_ids.items():
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": tid,
-                "args": {"name": engine.value.upper()},
-            }
-        )
+    tracer = Tracer(process_name)
     for op in report.ops:
-        events.append(
-            {
-                "name": op.name,
-                "ph": "X",
-                "pid": 1,
-                "tid": thread_ids[op.engine],
-                "ts": op.start_us,
-                "dur": op.duration_us,
-                "args": {
-                    "traffic_bytes": op.traffic_bytes,
-                    "pipelined": op.pipelined,
-                },
-            }
+        start = op.start_us / 1e6
+        end = start + op.duration_us / 1e6
+        tracer.record(
+            op.name,
+            op.engine.value,
+            start,
+            end,
+            traffic_bytes=op.traffic_bytes,
+            pipelined=op.pipelined,
         )
         if op.pipelined:
             partner = Engine.TPC if op.engine is Engine.MME else Engine.MME
-            events.append(
-                {
-                    "name": f"{op.name} (partner)",
-                    "ph": "X",
-                    "pid": 1,
-                    "tid": thread_ids[partner],
-                    "ts": op.start_us,
-                    "dur": op.duration_us,
-                    "args": {"pipelined": True},
-                }
+            tracer.record(
+                f"{op.name} (partner)", partner.value, start, end, pipelined=True
             )
-    return json.dumps({"traceEvents": events}, indent=1)
+    return tracer
+
+
+def chrome_trace(report: ProfileReport, process_name: str = "Gaudi-2") -> str:
+    """Serialize a profile as chrome://tracing JSON.
+
+    Funnels through the shared :mod:`repro.obs` trace schema, so a
+    HW-profile trace and a serving trace open identically in
+    ``chrome://tracing`` / Perfetto.
+    """
+    return chrome_trace_json(profile_tracer(report, process_name))

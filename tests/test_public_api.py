@@ -25,6 +25,8 @@ _PACKAGES = [
     "repro.core",
     "repro.figures",
     "repro.tools",
+    "repro.obs",
+    "repro.api",
 ]
 
 
