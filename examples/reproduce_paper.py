@@ -22,12 +22,15 @@ def main() -> None:
                         help="run the full parameter grids")
     parser.add_argument("--out", default="paper_results",
                         help="output directory for the rendered reports")
+    parser.add_argument("--workers", default=None,
+                        help="process-pool size for figure generation "
+                             "('auto' = one per core, capped)")
     args = parser.parse_args()
 
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(exist_ok=True)
 
-    results = generate_all(fast=not args.full)
+    results = generate_all(fast=not args.full, workers=args.workers)
     for figure_id, result in results.items():
         (out_dir / f"{figure_id}.txt").write_text(result.text + "\n")
         print(f"== {figure_id}: {result.title} ({len(result.rows)} rows) ==")

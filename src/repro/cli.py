@@ -4,12 +4,13 @@ Subcommands::
 
     python -m repro specs                      # Table 1
     python -m repro gemm 4096 4096 4096        # one GEMM on both devices
-    python -m repro figures [--id fig08] [--full] [--out DIR]
+    python -m repro figures [--id fig08] [--full] [--out DIR] [--workers auto]
     python -m repro serve --model 8b --device gaudi2 --max-batch 64
     python -m repro chaos --seed 0 --fail-device 3@t=2.0
     python -m repro trace --fast --out trace.json
     python -m repro top --device gaudi2 --samples 10
     python -m repro smi --workload llm --device gaudi2
+    python -m repro bench --check              # perf-regression smoke gate
 
 Every report-producing subcommand renders through the shared
 :func:`repro.api.render_report` path (``--format text|json|csv``).
@@ -59,7 +60,7 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    from repro.figures import FIGURES, run_figure
+    from repro.figures import FIGURES, generate_all, run_figure
 
     if args.markdown:
         from repro.figures.report_md import experiments_markdown
@@ -71,8 +72,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     if args.out:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
+    results = None
+    if args.id is None:
+        results = generate_all(fast=not args.full, workers=args.workers)
     for figure_id in figure_ids:
-        result = run_figure(figure_id=figure_id, fast=not args.full)
+        if results is not None:
+            result = results[figure_id]
+        else:
+            result = run_figure(figure_id=figure_id, fast=not args.full)
         print(f"== {figure_id}: {result.title} ==")
         for key, value in result.summary.items():
             print(f"   {key} = {value:.4g}")
@@ -129,6 +136,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     engine = _build_serving_engine(args, ctx=ctx)
     num_requests = min(args.requests, 16) if args.fast else args.requests
     engine.run(dynamic_sonnet_requests(num_requests, seed=args.seed))
+    from repro.core import memo
+
+    memo.publish_metrics(ctx.metrics)
     out = pathlib.Path(args.out)
     out.write_text(ctx.chrome_trace() + "\n")
     print(ctx.tracer_summary())
@@ -188,6 +198,12 @@ def _cmd_top(args: argparse.Namespace) -> int:
         rows,
         title=f"repro top: {args.model} on {args.device} (virtual time)",
     ))
+    from repro.core import memo
+
+    memo.publish_metrics(ctx.metrics)
+    print()
+    print("Cost-model caches (shape-keyed memoization):")
+    print(memo.render_stats())
     return 0
 
 
@@ -223,6 +239,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     fmt = "json" if args.json else args.format
     print(render_report(report, fmt))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    cases = args.case or None
+    result = bench.run_bench(fast=not args.full, repeats=args.repeats, cases=cases)
+    print(bench.render_result(result))
+    if args.out or not args.check:
+        path = bench.write_result(result, args.out)
+        print(f"bench result written to {path}")
+    exit_code = 0
+    baseline_path = pathlib.Path(args.baseline)
+    if args.check:
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}; nothing to check against")
+            return 1
+        ok, rows = bench.compare_to_baseline(
+            result, bench.load_baseline(str(baseline_path)), tolerance=args.tolerance
+        )
+        print()
+        print(bench.render_comparison(rows, args.tolerance))
+        if not ok:
+            print(f"FAIL: at least one case regressed past {args.tolerance:g}x "
+                  "(calibration-normalized)")
+            exit_code = 1
+        else:
+            print("OK: no case regressed past the tolerance")
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        bench.write_result(result, str(baseline_path))
+        print(f"baseline updated at {baseline_path}")
+    return exit_code
 
 
 def _cmd_smi(args: argparse.Namespace) -> int:
@@ -272,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", help="directory for rendered reports")
     figures.add_argument("--markdown", action="store_true",
                          help="print the live paper-vs-measured table")
+    figures.add_argument("--workers", default=None,
+                         help="process-pool size for regenerating all figures "
+                              "(an int or 'auto'; default: REPRO_WORKERS or serial)")
     figures.set_defaults(fn=_cmd_figures)
 
     serve = sub.add_parser("serve", help="run the vLLM-style serving simulation")
@@ -365,6 +417,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the report as JSON (same as --format json)")
     chaos.add_argument("--format", default="text", choices=["text", "json", "csv"])
     chaos.set_defaults(fn=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time canonical simulator workloads; gate against a baseline",
+        description=(
+            "Performance-regression harness for the simulator itself: times "
+            "figure grids, serving runs, and a chaos load test with cleared "
+            "cost caches, writes BENCH_<stamp>.json, and (with --check) "
+            "fails when a case regresses past the tolerance relative to the "
+            "committed baseline, normalized by a host-speed calibration loop."
+        ),
+    )
+    bench.add_argument("--full", action="store_true",
+                       help="full-size workloads (default: fast CI-sized grids)")
+    bench.add_argument("--check", action="store_true",
+                       help="compare against the baseline and exit non-zero "
+                            "on regression; skips writing BENCH_<stamp>.json")
+    bench.add_argument("--tolerance", type=float, default=2.0,
+                       help="allowed normalized slowdown factor (default 2.0)")
+    bench.add_argument("--baseline", default="benchmarks/perf/baseline.json",
+                       help="baseline result document to compare against")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="rewrite the baseline file with this run's numbers")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="samples per case; the best is kept (default 3)")
+    bench.add_argument("--case", action="append", default=[],
+                       help="run only this case (repeatable)")
+    bench.add_argument("--out", default=None,
+                       help="explicit output path instead of BENCH_<stamp>.json")
+    bench.set_defaults(fn=_cmd_bench)
 
     smi = sub.add_parser("smi", help="hl-smi / nvidia-smi style readout")
     smi.add_argument("--device", default="gaudi2")

@@ -14,6 +14,7 @@ from typing import Dict
 import copy
 
 from repro.comm.busbw import bus_bandwidth_factor
+from repro.core.memo import CostCache
 from repro.comm.collectives import (
     CollectiveOp,
     CollectiveResult,
@@ -72,15 +73,24 @@ class CollectiveLibrary:
         self.protocol_efficiency = protocol_efficiency
         self.op_efficiency = dict(op_efficiency)
         self.name = name
+        self._run_cache = CostCache(f"comm.{name.lower()}", maxsize=2048)
 
     def run(self, op: CollectiveOp, size_bytes: float, participants: int) -> CollectiveReport:
+        # Degraded topology views price against live fault state, so
+        # only static topologies are safe to memoize.
+        cacheable = getattr(self.topology, "cache_static", False)
+        key = (op, float(size_bytes), participants)
+        if cacheable:
+            report = self._run_cache.get(key)
+            if report is not None:
+                return report
         efficiency = self.protocol_efficiency * self.op_efficiency.get(op, 1.0)
         result: CollectiveResult = collective_time(
             op, size_bytes, participants, self.topology, efficiency
         )
         algbw = result.algorithm_bandwidth
         busbw = algbw * bus_bandwidth_factor(op, participants)
-        return CollectiveReport(
+        report = CollectiveReport(
             op=op,
             size_bytes=size_bytes,
             participants=participants,
@@ -89,6 +99,9 @@ class CollectiveLibrary:
             bus_bandwidth=busbw,
             bus_utilization=busbw / self.NOMINAL_BANDWIDTH,
         )
+        if cacheable:
+            self._run_cache.put(key, report)
+        return report
 
     # -- fault awareness ----------------------------------------------
     def with_topology(self, topology: Topology) -> "CollectiveLibrary":
@@ -97,6 +110,8 @@ class CollectiveLibrary:
         other = copy.copy(self)
         other.topology = topology
         other.op_efficiency = dict(self.op_efficiency)
+        # A shallow copy would share the memo across topologies.
+        other._run_cache = CostCache(f"comm.{self.name.lower()}", maxsize=2048)
         return other
 
     def degraded(self, health: FabricHealth) -> "CollectiveLibrary":

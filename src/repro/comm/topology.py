@@ -81,6 +81,11 @@ class Topology:
     num_devices: int
     base_latency: float
 
+    #: Whether collective costs over this topology are stable for its
+    #: lifetime (safe to memoize).  The degraded views below read live
+    #: :class:`FabricHealth` state, so they clear this flag.
+    cache_static: bool = True
+
     def validate_participants(self, participants: int) -> None:
         if not 2 <= participants <= self.num_devices:
             raise ValueError(
@@ -178,6 +183,8 @@ class DegradedMeshTopology(P2PMeshTopology):
     #: Residual rate of a fully-down link after 2-hop relay rerouting.
     RELAY_FACTOR = 0.5
 
+    cache_static = False
+
     def __init__(
         self,
         base: Optional[P2PMeshTopology] = None,
@@ -216,6 +223,8 @@ class DegradedSwitchTopology(SwitchTopology):
 
     #: Residual rate of a fully-down uplink via spare switch planes.
     RELAY_FACTOR = 0.5
+
+    cache_static = False
 
     def __init__(
         self,

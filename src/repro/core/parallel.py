@@ -1,0 +1,39 @@
+"""Worker-count policy for process-pool fan-out.
+
+Figure regeneration and load sweeps can fan across a process pool
+(:mod:`repro.figures`, :mod:`repro.serving.loadgen`).  This helper
+centralizes how a ``workers`` knob resolves: ``None`` defers to the
+``REPRO_WORKERS`` environment variable (default serial, so tests and
+library callers stay single-process unless asked), ``"auto"``/``0``
+uses the machine's cores capped at :data:`MAX_AUTO_WORKERS`, and any
+positive integer is taken literally.  The result is always clamped to
+the task count -- spawning more workers than tasks only costs fork
+time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+__all__ = ["MAX_AUTO_WORKERS", "resolve_worker_count"]
+
+#: Cap for "auto": figure regeneration has ~14 tasks and heavy imports
+#: per worker, so more processes than this never pays for itself.
+MAX_AUTO_WORKERS = 8
+
+
+def resolve_worker_count(workers: Optional[Union[int, str]], tasks: int) -> int:
+    """Resolve a ``workers`` knob to a concrete process count >= 1."""
+    if tasks <= 0:
+        return 1
+    if workers is None:
+        workers = os.environ.get("REPRO_WORKERS", 1)
+    if isinstance(workers, str):
+        if workers.strip().lower() == "auto":
+            workers = 0
+        else:
+            workers = int(workers)
+    if workers <= 0:  # "auto"
+        workers = min(os.cpu_count() or 1, MAX_AUTO_WORKERS)
+    return max(1, min(int(workers), tasks))

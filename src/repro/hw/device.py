@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.core.memo import CostCache
 from repro.hw.memory import HbmModel
 from repro.hw.mme import MmeModel
 from repro.hw.power import PowerModel
@@ -52,6 +53,10 @@ class Device:
         self.hbm = HbmModel(spec.memory)
         self.vector = VectorUnitModel(spec.vector)
         self.power = PowerModel(spec.power)
+        # Shape-keyed result caches (the device model is stateless, so
+        # every estimate is a pure function of the key).
+        self._gemm_cache = CostCache(f"device.gemm[{spec.name}]", maxsize=16384)
+        self._attention_cache = CostCache(f"kernels.attention[{spec.name}]")
 
     @property
     def name(self) -> str:
@@ -65,6 +70,17 @@ class Device:
         self, m: int, k: int, n: int, dtype: DType = DType.BF16, batch: int = 1
     ) -> MatmulResult:
         """Execute one (optionally batched) GEMM on the matrix engine."""
+        key = (m, k, n, dtype, batch)
+        result = self._gemm_cache.get(key)
+        if result is None:
+            result = self._gemm_uncached(m, k, n, dtype, batch)
+            self._gemm_cache.put(key, result)
+        return result
+
+    def _gemm_uncached(
+        self, m: int, k: int, n: int, dtype: DType, batch: int
+    ) -> MatmulResult:
+        """Subclass hook: derive one GEMM estimate from scratch."""
         raise NotImplementedError
 
     def matrix_utilization(self, m: int, k: int, n: int, dtype: DType = DType.BF16) -> float:
@@ -95,8 +111,8 @@ class Gaudi2Device(Device):
         super().__init__(spec)
         self.mme = MmeModel(spec, configurable=mme_configurable)
 
-    def gemm(
-        self, m: int, k: int, n: int, dtype: DType = DType.BF16, batch: int = 1
+    def _gemm_uncached(
+        self, m: int, k: int, n: int, dtype: DType, batch: int
     ) -> MatmulResult:
         estimate = (
             self.mme.gemm(m, k, n, dtype)
@@ -125,8 +141,8 @@ class A100Device(Device):
         super().__init__(spec)
         self.tensorcore = TensorCoreModel(spec)
 
-    def gemm(
-        self, m: int, k: int, n: int, dtype: DType = DType.BF16, batch: int = 1
+    def _gemm_uncached(
+        self, m: int, k: int, n: int, dtype: DType, batch: int
     ) -> MatmulResult:
         estimate = (
             self.tensorcore.gemm(m, k, n, dtype)

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.core.memo import CostCache
 from repro.hw.spec import DeviceSpec, DType, GAUDI2_SPEC
 from repro.hw.systolic import (
     SystolicArray,
@@ -117,6 +118,10 @@ class MmeModel:
             # The Figure 7(c) baseline: a fixed, non-configurable
             # 256x256x2 output-stationary array with the same peak.
             self.geometries = [SystolicGeometry(256, 256, 2)]
+        # The geometry search dominates the simulator's wall time; its
+        # result depends only on the shape key and this model's fixed
+        # geometry set, so it memoizes cleanly.
+        self._config_cache = CostCache(f"mme.select_config[{spec.name}]", maxsize=8192)
 
     # ------------------------------------------------------------------
     def select_config(self, m: int, k: int, n: int, dtype: DType = DType.BF16) -> MmeConfig:
@@ -125,6 +130,14 @@ class MmeModel:
         The compiler minimizes compute cycles, breaking ties toward the
         configuration with fewer active MACs (power gating).
         """
+        key = (m, k, n, dtype)
+        config = self._config_cache.get(key)
+        if config is None:
+            config = self._select_config_uncached(m, k, n, dtype)
+            self._config_cache.put(key, config)
+        return config
+
+    def _select_config_uncached(self, m: int, k: int, n: int, dtype: DType) -> MmeConfig:
         geo, timing = best_geometry(self.geometries, m, k, n)
         clock = self.spec.matrix.clock_hz
         dtype_scale = self.spec.matrix.peak(dtype) / self.spec.matrix.peak(DType.BF16)

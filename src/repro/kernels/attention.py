@@ -140,9 +140,20 @@ def fused_sdpa_time(device: Gaudi2Device, config: AttentionConfig) -> AttentionR
 
 
 def attention_time(device: Device, config: AttentionConfig) -> AttentionResult:
-    """Dispatch to the device's fused attention implementation."""
+    """Dispatch to the device's fused attention implementation.
+
+    ``AttentionConfig`` is frozen and hashable, so the result memoizes
+    on the device's shape-keyed cache.
+    """
     if isinstance(device, Gaudi2Device):
-        return fused_sdpa_time(device, config)
-    if isinstance(device, A100Device):
-        return flash_attention_time(device, config)
-    raise TypeError(f"unsupported device {device!r}")
+        impl = fused_sdpa_time
+    elif isinstance(device, A100Device):
+        impl = flash_attention_time
+    else:
+        raise TypeError(f"unsupported device {device!r}")
+    result = device._attention_cache.get(config)
+    if result is not None:
+        return result
+    result = impl(device, config)
+    device._attention_cache.put(config, result)
+    return result

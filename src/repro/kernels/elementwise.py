@@ -9,10 +9,13 @@ carries, plus numpy semantics for tests.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
+from repro.core.memo import CostCache
 from repro.hw.spec import DeviceSpec, DType
 from repro.hw.vector_unit import VectorUnitModel
 
@@ -26,6 +29,22 @@ class ElementwiseCost:
     output_bytes: float
 
 
+# DeviceSpec nests dicts (per-dtype peaks), so it is not hashable; the
+# per-spec cache is keyed on object identity, with a finalizer dropping
+# the slot when the spec is collected (identity keys are only safe
+# while the object is alive).
+_COST_CACHES: Dict[int, CostCache] = {}
+
+
+def _cache_for(spec: DeviceSpec) -> CostCache:
+    cache = _COST_CACHES.get(id(spec))
+    if cache is None:
+        cache = CostCache(f"kernels.elementwise[{spec.name}]")
+        _COST_CACHES[id(spec)] = cache
+        weakref.finalize(spec, _COST_CACHES.pop, id(spec), None)
+    return cache
+
+
 def elementwise_cost(
     spec: DeviceSpec,
     num_elements: int,
@@ -37,14 +56,21 @@ def elementwise_cost(
     """Cost of an element-wise op over ``num_elements`` outputs."""
     if num_elements < 0 or num_inputs < 1:
         raise ValueError("num_elements must be >= 0 and num_inputs >= 1")
+    cache = _cache_for(spec)
+    key = (num_elements, flops_per_element, num_inputs, dtype, uses_fma)
+    cost = cache.get(key)
+    if cost is not None:
+        return cost
     vector = VectorUnitModel(spec.vector)
     compute = vector.elementwise_time(num_elements, flops_per_element, dtype, uses_fma)
     itemsize = dtype.itemsize
-    return ElementwiseCost(
+    cost = ElementwiseCost(
         compute_time=compute,
         input_bytes=float(num_elements) * itemsize * num_inputs,
         output_bytes=float(num_elements) * itemsize,
     )
+    cache.put(key, cost)
+    return cost
 
 
 def activation_cost(spec: DeviceSpec, num_elements: int, dtype: DType = DType.BF16) -> ElementwiseCost:

@@ -141,6 +141,77 @@ class PagedAttentionConfig:
 
 
 @dataclass(frozen=True)
+class PagedAttentionStats:
+    """Aggregate view of one decode step's paged-attention workload.
+
+    The three cost functions below read only ``batch``, ``kv_bytes``,
+    ``padded_kv_bytes``, ``gemm_flops``, and ``dtype`` -- all derivable
+    from four integer aggregates of the per-request context lengths.
+    The serving engine maintains those aggregates incrementally, so a
+    decode step can be priced without materializing (or walking) the
+    length list.  Every property reproduces its
+    :class:`PagedAttentionConfig` counterpart bit-for-bit: block counts
+    are integer sums, and the FLOP sum ``sum(4 q d s_i)`` equals
+    ``4 q d * sum(s_i)`` exactly because every partial sum is an
+    integer below 2^53.
+    """
+
+    batch: int
+    total_context: int      # sum of per-request context lengths
+    total_blocks: int       # sum of per-request ceil(len / block_size)
+    max_context: int        # longest context in the batch
+    q_heads: int
+    kv_heads: int
+    head_dim: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+    dtype: DType = DType.BF16
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0:
+            raise ValueError("batch must be positive")
+        if self.max_context <= 0 or self.total_context < self.max_context:
+            raise ValueError("inconsistent context aggregates")
+
+    @classmethod
+    def from_config(cls, config: PagedAttentionConfig) -> "PagedAttentionStats":
+        return cls(
+            batch=config.batch,
+            total_context=sum(int(s) for s in config.seq_lens),
+            total_blocks=config.effectual_blocks,
+            max_context=max(int(s) for s in config.seq_lens),
+            q_heads=config.q_heads,
+            kv_heads=config.kv_heads,
+            head_dim=config.head_dim,
+            block_size=config.block_size,
+            dtype=config.dtype,
+        )
+
+    @property
+    def block_bytes(self) -> int:
+        return 2 * self.kv_heads * self.head_dim * self.block_size * self.dtype.itemsize
+
+    @property
+    def effectual_blocks(self) -> int:
+        return self.total_blocks
+
+    @property
+    def padded_blocks(self) -> int:
+        return self.batch * math.ceil(self.max_context / self.block_size)
+
+    @property
+    def kv_bytes(self) -> float:
+        return float(self.effectual_blocks) * self.block_bytes
+
+    @property
+    def padded_kv_bytes(self) -> float:
+        return float(self.padded_blocks) * self.block_bytes
+
+    @property
+    def gemm_flops(self) -> float:
+        return 4.0 * self.q_heads * self.head_dim * self.total_context
+
+
+@dataclass(frozen=True)
 class PagedAttentionResult:
     """Timing of one paged-attention call."""
 

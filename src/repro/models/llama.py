@@ -12,15 +12,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
+from repro.core.memo import CostCache
 from repro.hw.device import Device
 from repro.hw.power import ActivityAccumulator, PowerModel
 from repro.hw.spec import DType
 from repro.kernels.attention import AttentionConfig, attention_time
 from repro.kernels.elementwise import activation_cost, layernorm_cost
 from repro.kernels.paged_attention import (
-    PagedAttentionConfig,
+    DEFAULT_BLOCK_SIZE,
+    PagedAttentionStats,
     a100_paged_attention,
     vllm_base_paged_attention,
     vllm_opt_paged_attention,
@@ -123,6 +125,71 @@ class PhaseEstimate:
 
 
 @dataclass(frozen=True)
+class DecodeBatchStats:
+    """Order-independent aggregates of one decode batch's KV contexts.
+
+    Decode-step cost depends on the per-request context lengths only
+    through four integer aggregates (sum, KV-block sum, max, batch), so
+    the serving engine can maintain these incrementally instead of
+    rebuilding a length list every step.  ``residues`` is a histogram
+    of ``context_len % block_size`` supporting O(block_size)
+    :meth:`advanced` updates: when every request grows one token, only
+    the ``residue == 0`` requests (exactly at a block boundary) start a
+    new KV block.  All fields are integers, so the incremental path is
+    bit-identical to a from-scratch rebuild.
+    """
+
+    batch: int
+    total_context: int
+    total_blocks: int
+    max_context: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+    residues: Tuple[int, ...] = ()
+
+    @classmethod
+    def from_context_lens(
+        cls, context_lens: Sequence[int], block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> "DecodeBatchStats":
+        lens = [int(c) for c in context_lens]
+        if not lens:
+            raise ValueError("need at least one context length")
+        if any(c <= 0 for c in lens):
+            raise ValueError("context lengths must be positive")
+        residues = [0] * block_size
+        total = 0
+        blocks = 0
+        longest = 0
+        for c in lens:
+            total += c
+            blocks += (c + block_size - 1) // block_size
+            if c > longest:
+                longest = c
+            residues[c % block_size] += 1
+        return cls(
+            batch=len(lens),
+            total_context=total,
+            total_blocks=blocks,
+            max_context=longest,
+            block_size=block_size,
+            residues=tuple(residues),
+        )
+
+    def advanced(self) -> "DecodeBatchStats":
+        """The aggregates after every request grows by one token."""
+        if not self.residues:
+            raise ValueError("advanced() requires the residue histogram")
+        residues = self.residues
+        return DecodeBatchStats(
+            batch=self.batch,
+            total_context=self.total_context + self.batch,
+            total_blocks=self.total_blocks + residues[0],
+            max_context=self.max_context + 1,
+            block_size=self.block_size,
+            residues=(residues[-1],) + residues[:-1],
+        )
+
+
+@dataclass(frozen=True)
 class GenerationEstimate:
     """End-to-end generation of ``output_len`` tokens for a batch."""
 
@@ -186,10 +253,35 @@ class LlamaCostModel:
         self.tp.shard(config.q_heads, "q_heads")
         if self.tp.degree > 1:
             self.tp.shard(config.kv_heads, "kv_heads")
+        # Shape-keyed memo caches over the phase estimates.  Cached
+        # PhaseEstimates are shared between calls, so callers must
+        # treat them (and their activity accumulators) as read-only.
+        label = f"{device.name}/{config.name}"
+        self._prefill_cache = CostCache(f"llama.prefill[{label}]", maxsize=2048)
+        self._decode_terms_cache = CostCache(f"llama.decode_terms[{label}]", maxsize=1024)
+        self._decode_attn_cache = CostCache(f"llama.decode_attn[{label}]", maxsize=8192)
 
     @property
     def _layer_dispatch(self) -> float:
         return _LAYER_DISPATCH if self.use_graphs else _LAYER_DISPATCH_EAGER
+
+    @property
+    def _memo_ok(self) -> bool:
+        """Whether phase-level memoization is sound right now.
+
+        Two bypasses: (a) an observed tensor-parallel config must fire
+        its per-call allreduce metrics/trace events, and (b) a
+        non-static (degraded) topology prices live fault state, so its
+        collective costs change over virtual time.  The pure device
+        and kernel caches below this layer stay active either way.
+        """
+        tp = self.tp
+        if tp.metrics is not None or tp.queue_events:
+            return False
+        library = tp.library
+        if library is not None and not getattr(library.topology, "cache_static", True):
+            return False
+        return True
 
     # -- helpers ---------------------------------------------------------
     def _gemm(
@@ -227,6 +319,16 @@ class LlamaCostModel:
         """Process the whole prompt; produces the first token."""
         if batch <= 0 or seq_len <= 0:
             raise ValueError("batch and seq_len must be positive")
+        if not self._memo_ok:
+            return self._prefill_uncached(batch, seq_len)
+        key = (batch, seq_len)
+        phase = self._prefill_cache.get(key)
+        if phase is None:
+            phase = self._prefill_uncached(batch, seq_len)
+            self._prefill_cache.put(key, phase)
+        return phase
+
+    def _prefill_uncached(self, batch: int, seq_len: int) -> PhaseEstimate:
         cfg, tp = self.config, self.tp
         acc = ActivityAccumulator()
         tokens = batch * seq_len
@@ -289,41 +391,127 @@ class LlamaCostModel:
             raise ValueError("context_len sequence must match batch size")
         if any(c <= 0 for c in context_lens):
             raise ValueError("context lengths must be positive")
-        cfg, tp = self.config, self.tp
+        return self.decode_step_stats(
+            DecodeBatchStats.from_context_lens(context_lens), attention
+        )
+
+    def decode_step_stats(
+        self,
+        stats: DecodeBatchStats,
+        attention: DecodeAttention = DecodeAttention.STATIC,
+    ) -> PhaseEstimate:
+        """:meth:`decode_step` priced from batch aggregates.
+
+        The serving engine maintains a :class:`DecodeBatchStats`
+        incrementally across steps; this entry point skips the
+        per-request length walk entirely.  One decode layer splits into
+        a batch-level term (everything but attention -- memoized per
+        batch size) plus the attention term (memoized per context
+        aggregate); the split replays the exact call sequence of the
+        monolithic implementation, so times and activity are
+        bit-identical whether or not any cache hits.
+        """
+        terms = self._decode_terms(stats.batch)
+        ln1, qkv, oproj, ar1, ln2, up, act, down, ar2, lm_head = terms
+        cfg = self.config
         acc = ActivityAccumulator()
-        hd = cfg.head_dim
         time = 0.0
-        time += self._elementwise(acc, layernorm_cost(self.device.spec, batch * cfg.hidden_size, cfg.dtype))
-        time += self._gemm(acc, batch, cfg.hidden_size, tp.shard((cfg.q_heads + 2 * cfg.kv_heads) * hd, "qkv"))
-        time += self._decode_attention(acc, context_lens, attention)
-        time += self._gemm(acc, batch, tp.shard(cfg.q_heads * hd, "o-proj"), cfg.hidden_size)
-        time += self._allreduce(acc, batch * cfg.hidden_size * cfg.dtype.itemsize)
-        time += self._elementwise(acc, layernorm_cost(self.device.spec, batch * cfg.hidden_size, cfg.dtype))
-        time += self._gemm(acc, batch, cfg.hidden_size, tp.shard(2 * cfg.intermediate_size, "mlp up"))
-        time += self._elementwise(acc, activation_cost(self.device.spec, batch * cfg.intermediate_size // tp.degree, cfg.dtype))
-        time += self._gemm(acc, batch, tp.shard(cfg.intermediate_size, "mlp down"), cfg.hidden_size)
-        time += self._allreduce(acc, batch * cfg.hidden_size * cfg.dtype.itemsize)
+        time += ln1[0]
+        acc.merge(ln1[1])
+        time += qkv[0]
+        acc.merge(qkv[1])
+        time += self._decode_attention(acc, stats, attention)
+        for term_time, term_acc in (oproj, ar1, ln2, up, act, down, ar2):
+            time += term_time
+            acc.merge(term_acc)
         time += self._layer_dispatch
         time *= cfg.num_layers
         _scale_activity(acc, cfg.num_layers)
-        time += self._gemm(acc, batch, cfg.hidden_size, tp.shard(cfg.vocab_size, "lm head"))
+        time += lm_head[0]
+        acc.merge(lm_head[1])
         return PhaseEstimate(time=time, activity=acc)
+
+    def _decode_terms(self, batch: int):
+        """Per-call (time, activity) pairs for the non-attention slices
+        of one decode layer plus the LM head, memoized per batch size."""
+        if not self._memo_ok:
+            return self._decode_terms_uncached(batch)
+        terms = self._decode_terms_cache.get(batch)
+        if terms is None:
+            terms = self._decode_terms_uncached(batch)
+            self._decode_terms_cache.put(batch, terms)
+        return terms
+
+    def _decode_terms_uncached(self, batch: int):
+        cfg, tp = self.config, self.tp
+        hd = cfg.head_dim
+
+        def term(fn):
+            acc = ActivityAccumulator()
+            return (fn(acc), acc)
+
+        spec = self.device.spec
+        return (
+            term(lambda acc: self._elementwise(
+                acc, layernorm_cost(spec, batch * cfg.hidden_size, cfg.dtype))),
+            term(lambda acc: self._gemm(
+                acc, batch, cfg.hidden_size,
+                tp.shard((cfg.q_heads + 2 * cfg.kv_heads) * hd, "qkv"))),
+            term(lambda acc: self._gemm(
+                acc, batch, tp.shard(cfg.q_heads * hd, "o-proj"), cfg.hidden_size)),
+            term(lambda acc: self._allreduce(
+                acc, batch * cfg.hidden_size * cfg.dtype.itemsize)),
+            term(lambda acc: self._elementwise(
+                acc, layernorm_cost(spec, batch * cfg.hidden_size, cfg.dtype))),
+            term(lambda acc: self._gemm(
+                acc, batch, cfg.hidden_size, tp.shard(2 * cfg.intermediate_size, "mlp up"))),
+            term(lambda acc: self._elementwise(
+                acc, activation_cost(spec, batch * cfg.intermediate_size // tp.degree, cfg.dtype))),
+            term(lambda acc: self._gemm(
+                acc, batch, tp.shard(cfg.intermediate_size, "mlp down"), cfg.hidden_size)),
+            term(lambda acc: self._allreduce(
+                acc, batch * cfg.hidden_size * cfg.dtype.itemsize)),
+            term(lambda acc: self._gemm(
+                acc, batch, cfg.hidden_size, tp.shard(cfg.vocab_size, "lm head"))),
+        )
 
     def _decode_attention(
         self,
         acc: ActivityAccumulator,
-        context_lens,
+        stats: DecodeBatchStats,
+        attention: DecodeAttention,
+    ) -> float:
+        """Merge the decode-attention term for ``stats`` into ``acc``
+        and return its time.  Pure in the aggregates (no collective
+        calls), so it memoizes even on observed/degraded configs."""
+        key = (
+            attention, stats.batch, stats.total_context,
+            stats.total_blocks, stats.max_context, stats.block_size,
+        )
+        cached = self._decode_attn_cache.get(key)
+        if cached is None:
+            attn_acc = ActivityAccumulator()
+            time = self._decode_attention_uncached(attn_acc, stats, attention)
+            cached = (time, attn_acc)
+            self._decode_attn_cache.put(key, cached)
+        acc.merge(cached[1])
+        return cached[0]
+
+    def _decode_attention_uncached(
+        self,
+        acc: ActivityAccumulator,
+        stats: DecodeBatchStats,
         attention: DecodeAttention,
     ) -> float:
         cfg, tp = self.config, self.tp
-        batch = len(context_lens)
+        batch = stats.batch
         kv_heads = max(1, cfg.kv_heads // tp.degree)
         q_heads = cfg.q_heads // tp.degree
         if attention is DecodeAttention.STATIC:
             # Static bucketed KV cache: padded to the longest context,
             # then up to the shape bucket the compiled graph was built
             # for (optimum-habana's bucketing).
-            padded_len = max(context_lens)
+            padded_len = stats.max_context
             bucket = self.static_bucket
             padded_len = ((padded_len + bucket - 1) // bucket) * bucket
             kv_bytes = (
@@ -339,12 +527,15 @@ class LlamaCostModel:
             flops = 4.0 * batch * q_heads * padded_len * cfg.head_dim
             acc.add_matrix(flops / self.device.spec.matrix.peak(cfg.dtype), 0.5)
             return time
-        paged = PagedAttentionConfig(
+        paged = PagedAttentionStats(
             batch=batch,
-            seq_lens=list(context_lens),
+            total_context=stats.total_context,
+            total_blocks=stats.total_blocks,
+            max_context=stats.max_context,
             q_heads=q_heads,
             kv_heads=kv_heads,
             head_dim=cfg.head_dim,
+            block_size=stats.block_size,
             dtype=cfg.dtype,
         )
         if attention is DecodeAttention.PAGED_BASE:

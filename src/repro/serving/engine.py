@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.hw.power import ActivityAccumulator, PowerModel
-from repro.models.llama import DecodeAttention, LlamaCostModel
+from repro.models.llama import DecodeAttention, DecodeBatchStats, LlamaCostModel
 from repro.serving.kv_cache import BlockManager, KvCacheError
 from repro.serving.request import Request, RequestState, RetryPolicy
 from repro.serving.scheduler import ContinuousBatchingScheduler
@@ -339,6 +339,12 @@ class LlmServingEngine:
         preemptions = 0
         activity = ActivityAccumulator()
         tracer = self._tracer
+        observing = tracer is not None or self._metrics is not None
+        # Incremental decode-batch statistics: valid while the running
+        # batch's membership is unchanged (scheduler.mutation_count) and
+        # every runner grew by exactly one token since they were built.
+        batch_stats: Optional[DecodeBatchStats] = None
+        batch_version = -1
         if tracer is not None:
             tracer.begin(
                 "serving.run", "engine", now,
@@ -354,7 +360,7 @@ class LlmServingEngine:
                 if not schedule.has_work:
                     if not self.scheduler.waiting:
                         break  # everything retired in this step
-                    head = min(self.scheduler.waiting, key=lambda r: r.arrival_time)
+                    head = self.scheduler.waiting[0]  # arrival-sorted queue
                     if head.arrival_time <= now:
                         # Nothing runs, nothing admits, and the head request
                         # has already arrived: the pool can never serve it.
@@ -375,7 +381,7 @@ class LlmServingEngine:
                 step_start = now
                 step_span = None
                 step_activity = None
-                if tracer is not None or self._metrics is not None:
+                if observing:
                     step_activity = ActivityAccumulator()
                 if tracer is not None:
                     step_span = tracer.begin(
@@ -386,9 +392,9 @@ class LlmServingEngine:
                     # vLLM prefills prompts individually (no padding waste).
                     # A fault-restarted request recomputes its checkpointed
                     # tokens too, hence context_len rather than input_tokens.
-                    self._trace_request_begin(request, now)
                     prefill_span = None
                     if tracer is not None:
+                        self._trace_request_begin(request, now)
                         prefill_span = tracer.begin(
                             "prefill", "engine", now,
                             request_id=request.request_id,
@@ -399,7 +405,7 @@ class LlmServingEngine:
                     activity.merge(phase.activity)
                     if step_activity is not None:
                         step_activity.merge(phase.activity)
-                    self._emit_comm_spans(now)
+                        self._emit_comm_spans(now)
                     if prefill_span is not None:
                         tracer.end(prefill_span, now)
                     request.record_token(now)
@@ -407,46 +413,67 @@ class LlmServingEngine:
                 running = [r for r in schedule.running if r.state is RequestState.RUNNING]
                 if not running:
                     steps += 1
-                    self._finish_step(step_span, step_start, now, step_activity, 0)
+                    if observing:
+                        self._finish_step(step_span, step_start, now, step_activity, 0)
                     continue
                 preemptions += self._ensure_headroom(running)
                 running = [r for r in running if r.state is RequestState.RUNNING]
                 if not running:
                     steps += 1
-                    self._finish_step(step_span, step_start, now, step_activity, 0)
+                    if observing:
+                        self._finish_step(step_span, step_start, now, step_activity, 0)
                     continue
                 decode_span = None
                 if tracer is not None:
                     decode_span = tracer.begin(
                         "decode.step", "engine", now, batch=len(running)
                     )
-                phase = self.model.decode_step(
-                    len(running), [r.context_len for r in running], self.attention
-                )
+                version = self.scheduler.mutation_count
+                if (
+                    batch_stats is None
+                    or batch_version != version
+                    or batch_stats.batch != len(running)
+                ):
+                    batch_stats = DecodeBatchStats.from_context_lens(
+                        [r.context_len for r in running]
+                    )
+                    batch_version = version
+                phase = self.model.decode_step_stats(batch_stats, self.attention)
                 now += phase.time * slowdown
                 activity.merge(phase.activity)
                 if step_activity is not None:
                     step_activity.merge(phase.activity)
-                self._emit_comm_spans(now)
+                    self._emit_comm_spans(now)
                 if decode_span is not None:
                     tracer.end(decode_span, now)
                 steps += 1
                 if self.injector is not None and self.injector.kernel_fault():
                     # Transient kernel failure: the step's output is lost
                     # and recomputed next iteration; the time still passed.
+                    # No runner grew, so batch_stats stays valid as-is.
                     self.fault_stats.kernel_retries += 1
                     if tracer is not None:
                         tracer.instant("kernel_fault", "engine", now)
                     if self._metrics is not None:
                         self._metrics.counter("engine.kernel_retries").inc()
-                    self._finish_step(step_span, step_start, now, step_activity, len(running))
+                    if observing:
+                        self._finish_step(step_span, step_start, now, step_activity, len(running))
                     continue
+                grew_all = True
                 for request in running:
                     if not self._grow_kv(request):
+                        grew_all = False
                         continue
                     request.record_token(now)
                     self._maybe_checkpoint(request)
-                self._finish_step(step_span, step_start, now, step_activity, len(running))
+                if grew_all and self.scheduler.mutation_count == batch_version:
+                    # Every runner gained exactly one token: advance the
+                    # batch statistics in O(1) instead of rebuilding.
+                    batch_stats = batch_stats.advanced()
+                else:
+                    batch_stats = None
+                if observing:
+                    self._finish_step(step_span, step_start, now, step_activity, len(running))
         finally:
             if tracer is not None:
                 tracer.finish(now)
@@ -515,10 +542,8 @@ class LlmServingEngine:
             if not request.deadline_missed(now):
                 continue
             if request.retries < self.policy.retry.max_retries:
-                self.scheduler.waiting.remove(request)
                 delay = self.policy.retry.backoff(request.retries)
-                request.resubmit(now + delay)
-                self.scheduler.waiting.append(request)
+                self.scheduler.requeue(request, now + delay)
                 self.fault_stats.deadline_retries += 1
                 if self._tracer is not None:
                     self._tracer.instant(

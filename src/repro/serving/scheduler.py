@@ -19,6 +19,26 @@ from repro.serving.kv_cache import BlockManager, KvCacheError
 from repro.serving.request import Request, RequestState
 
 
+def _insort_by_arrival(queue: List[Request], request: Request, left: bool = False) -> None:
+    """Insert into an arrival-time-sorted queue by binary search.
+
+    ``left=False`` places the request after equal arrivals (stable FIFO
+    for submissions); ``left=True`` places it before them (preempted
+    victims re-admit ahead of later arrivals).  Manual bisection because
+    :func:`bisect.insort`'s ``key=`` needs Python 3.10+.
+    """
+    at = request.arrival_time
+    lo, hi = 0, len(queue)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        probe = queue[mid].arrival_time
+        if probe < at or (not left and probe == at):
+            lo = mid + 1
+        else:
+            hi = mid
+    queue.insert(lo, request)
+
+
 @dataclass
 class ScheduleStep:
     """What the engine should execute next."""
@@ -47,8 +67,15 @@ class ContinuousBatchingScheduler:
         self.block_manager = block_manager
         self.max_decode_batch = max_decode_batch
         self.admission_watermark = admission_watermark
+        #: Waiting queue, kept sorted by arrival time (earliest first);
+        #: mutate it through :meth:`submit` / :meth:`requeue` /
+        #: :meth:`preempt` / :meth:`shed` so the invariant holds.
         self.waiting: List[Request] = []
         self.running: List[Request] = []
+        #: Bumped whenever the running batch's membership changes; the
+        #: engine compares it to decide whether its incremental
+        #: decode-batch statistics are still valid.
+        self.mutation_count = 0
         self.tracer = None
         self.metrics = None
         #: Virtual time of the last :meth:`step`; preempt/shed events
@@ -70,7 +97,14 @@ class ContinuousBatchingScheduler:
                 f"blocks but the pool only has {self.block_manager.num_blocks}; "
                 "it can never be scheduled"
             )
-        self.waiting.append(request)
+        _insort_by_arrival(self.waiting, request)
+
+    def requeue(self, request: Request, at: float) -> None:
+        """Pull a waiting request and resubmit it to arrive at ``at``
+        (client-style deadline retry with backoff)."""
+        self.waiting.remove(request)
+        request.resubmit(at)
+        _insort_by_arrival(self.waiting, request)
 
     @property
     def has_unfinished(self) -> bool:
@@ -121,6 +155,8 @@ class ContinuousBatchingScheduler:
                     request_id=request.request_id, blocks=len(blocks),
                 )
         self.running.extend(admitted)
+        if admitted or retired:
+            self.mutation_count += 1
         if self.tracer is not None:
             # Scheduling is instantaneous on the virtual clock, so the
             # span is zero-width; its args carry the admission ledger.
@@ -155,9 +191,10 @@ class ContinuousBatchingScheduler:
         if victim not in self.running:
             raise ValueError(f"request {victim.request_id} is not running")
         self.running.remove(victim)
+        self.mutation_count += 1
         self.block_manager.free(victim.request_id)
         victim.restart(from_checkpoint=from_checkpoint)
-        self.waiting.insert(0, victim)
+        _insort_by_arrival(self.waiting, victim, left=True)
         if self.tracer is not None:
             self.tracer.instant(
                 "preempt",
@@ -175,6 +212,7 @@ class ContinuousBatchingScheduler:
             self.waiting.remove(request)
         elif request in self.running:
             self.running.remove(request)
+            self.mutation_count += 1
             self.block_manager.free(request.request_id)
         else:
             raise ValueError(f"request {request.request_id} is not scheduled")
@@ -195,6 +233,8 @@ class ContinuousBatchingScheduler:
         victims = self.waiting + self.running
         for request in self.running:
             self.block_manager.free(request.request_id)
+        if self.running:
+            self.mutation_count += 1
         self.waiting = []
         self.running = []
         for request in victims:

@@ -29,8 +29,15 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from repro.core.memo import CostCache
 from repro.hw.spec import GAUDI2_SPEC, VectorEngineSpec
 from repro.tpc.isa import Instruction, MemoryKind, Opcode, Slot
+
+#: Shared scoreboard-simulation memo: kernel bodies are frozen
+#: hashable instruction tuples, and launchers are rebuilt per kernel
+#: call, so the cache lives at module scope.  Keyed on the two spec
+#: fields the scoreboard actually reads, not the (unhashable) spec.
+_SIMULATE_CACHE = CostCache("tpc.pipeline", maxsize=2048)
 
 #: Extra cycles a taken loop-closing branch costs before the next
 #: iteration's first instruction can issue.
@@ -88,32 +95,47 @@ class VliwPipeline:
         inflight_random: List[int] = []  # completion cycles of gather loads
         cycle = 0
         prev_issue = 0
+        max_outstanding = self.spec.max_outstanding_loads
+        random_latency = self.spec.random_load_latency
+        # Hazard metadata is static per instruction; resolving the
+        # slot/memory-kind enum properties once instead of every
+        # iteration keeps the scoreboard loop on plain locals.
+        decoded = [
+            (
+                instr.sources,
+                instr.dest,
+                instr.slot,
+                instr.memory_kind is MemoryKind.RANDOM_LOAD,
+                instr.latency,
+                instr.opcode is Opcode.LOOP_END,
+            )
+            for instr in body
+        ]
         for _ in range(iterations):
-            for instr in body:
+            for sources, dest, slot, is_random_load, latency, is_loop_end in decoded:
                 earliest = prev_issue
-                for src in instr.sources:
+                for src in sources:
                     earliest = max(earliest, ready.get(src, 0))
-                if instr.dest is not None:
-                    earliest = max(earliest, last_read.get(instr.dest, 0))
-                    earliest = max(earliest, last_write_issue.get(instr.dest, -1) + 1)
-                earliest = max(earliest, slot_free[instr.slot])
-                if instr.memory_kind is MemoryKind.RANDOM_LOAD:
+                if dest is not None:
+                    earliest = max(earliest, last_read.get(dest, 0))
+                    earliest = max(earliest, last_write_issue.get(dest, -1) + 1)
+                earliest = max(earliest, slot_free[slot])
+                if is_random_load:
                     inflight_random = [c for c in inflight_random if c > earliest]
-                    while len(inflight_random) >= self.spec.max_outstanding_loads:
+                    while len(inflight_random) >= max_outstanding:
                         earliest = min(inflight_random)
                         inflight_random = [c for c in inflight_random if c > earliest]
                 issue = earliest
-                latency = instr.latency
-                if instr.memory_kind is MemoryKind.RANDOM_LOAD:
-                    latency = self.spec.random_load_latency
+                if is_random_load:
+                    latency = random_latency
                     inflight_random.append(issue + latency)
-                if instr.dest is not None:
-                    ready[instr.dest] = issue + latency
-                    last_write_issue[instr.dest] = issue
-                for src in instr.sources:
+                if dest is not None:
+                    ready[dest] = issue + latency
+                    last_write_issue[dest] = issue
+                for src in sources:
                     last_read[src] = max(last_read.get(src, 0), issue)
-                slot_free[instr.slot] = issue + 1
-                if instr.opcode is Opcode.LOOP_END:
+                slot_free[slot] = issue + 1
+                if is_loop_end:
                     issue += BRANCH_PENALTY
                 prev_issue = issue
                 cycle = max(cycle, issue + 1)
@@ -130,6 +152,15 @@ class VliwPipeline:
             raise ValueError("iterations must be positive")
         if not body:
             raise ValueError("body must contain at least one instruction")
+        key = (
+            self.spec.max_outstanding_loads,
+            self.spec.random_load_latency,
+            tuple(body),
+            iterations,
+        )
+        cached = _SIMULATE_CACHE.get(key)
+        if cached is not None:
+            return cached
         # The warm-up must outlast the outstanding-gather window, or a
         # gather loop would be extrapolated from its pre-saturation rate.
         gathers_per_trip = sum(
@@ -157,7 +188,7 @@ class VliwPipeline:
             if instr.access_bytes > 0 and instr.memory_kind is not MemoryKind.NONE:
                 useful += instr.access_bytes
                 moved += granule * math.ceil(instr.access_bytes / granule)
-        return PipelineResult(
+        result = PipelineResult(
             iterations=iterations,
             total_cycles=total,
             cycles_per_iteration=total / iterations,
@@ -166,3 +197,5 @@ class VliwPipeline:
             flops_per_iteration=flops,
             instructions_per_iteration=len(body),
         )
+        _SIMULATE_CACHE.put(key, result)
+        return result

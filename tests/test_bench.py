@@ -1,0 +1,124 @@
+"""The perf-regression harness's comparison logic (no timing asserts:
+wall-clock values are machine-dependent, so only structure and the
+gating math are tested)."""
+
+import json
+
+import pytest
+
+from repro import bench
+
+
+def _result(cases, calibration=0.1, mode="fast"):
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "mode": mode,
+        "repeats": 1,
+        "calibration_seconds": calibration,
+        "cases": {
+            name: {"seconds": seconds, "runs": [seconds], "description": name}
+            for name, seconds in cases.items()
+        },
+    }
+
+
+class TestCompareToBaseline:
+    def test_within_tolerance_passes(self):
+        ok, rows = bench.compare_to_baseline(
+            _result({"a": 1.0}), _result({"a": 0.9}), tolerance=2.0
+        )
+        assert ok
+        assert rows[0]["status"] == "ok"
+
+    def test_regression_fails(self):
+        ok, rows = bench.compare_to_baseline(
+            _result({"a": 1.0}), _result({"a": 0.2}), tolerance=2.0
+        )
+        assert not ok
+        assert rows[0]["status"] == "regressed"
+        assert rows[0]["normalized_ratio"] == pytest.approx(5.0)
+
+    def test_calibration_normalizes_slow_machines(self):
+        # 3x slower wall-clock on a 3x slower host is not a regression.
+        now = _result({"a": 3.0}, calibration=0.3)
+        base = _result({"a": 1.0}, calibration=0.1)
+        ok, rows = bench.compare_to_baseline(now, base, tolerance=1.5)
+        assert ok
+        assert rows[0]["normalized_ratio"] == pytest.approx(1.0)
+
+    def test_tiny_baselines_report_but_never_gate(self):
+        ok, rows = bench.compare_to_baseline(
+            _result({"a": 1.0}), _result({"a": 0.001}), tolerance=2.0
+        )
+        assert ok
+        assert rows[0]["status"] == "too-small"
+
+    def test_new_and_missing_cases_never_gate(self):
+        ok, rows = bench.compare_to_baseline(
+            _result({"new_case": 1.0}), _result({"old_case": 1.0}), tolerance=2.0
+        )
+        assert ok
+        statuses = {row["case"]: row["status"] for row in rows}
+        assert statuses == {"new_case": "new", "old_case": "missing"}
+
+    def test_mode_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bench.compare_to_baseline(
+                _result({"a": 1.0}, mode="fast"),
+                _result({"a": 1.0}, mode="full"),
+            )
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            bench.compare_to_baseline(_result({}), _result({}), tolerance=0)
+
+
+class TestResultDocuments:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        result = _result({"a": 1.0})
+        path = bench.write_result(result, str(tmp_path / "bench.json"))
+        assert bench.load_baseline(str(path)) == result
+
+    def test_default_name_is_stamped(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = bench.write_result(_result({}))
+        assert path.name.startswith("BENCH_")
+        assert path.name.endswith(".json")
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(ValueError):
+            bench.load_baseline(str(path))
+
+    def test_committed_baseline_is_loadable(self):
+        baseline = bench.load_baseline("benchmarks/perf/baseline.json")
+        assert baseline["mode"] == "fast"
+        assert set(baseline["cases"]) >= {
+            "fig04_grid", "fig12_serving", "fig17_serving",
+            "serve_256", "chaos_load",
+        }
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            bench.run_bench(cases=["not_a_case"])
+
+    def test_run_bench_structure(self):
+        result = bench.run_bench(fast=True, repeats=1, cases=["fig04_grid"])
+        assert result["schema"] == bench.BENCH_SCHEMA
+        assert result["mode"] == "fast"
+        entry = result["cases"]["fig04_grid"]
+        assert entry["seconds"] == min(entry["runs"])
+        assert result["calibration_seconds"] > 0
+
+    def test_render_result_mentions_every_case(self):
+        result = _result({"alpha_case": 1.0, "beta_case": 2.0})
+        text = bench.render_result(result)
+        assert "alpha_case" in text and "beta_case" in text
+
+    def test_render_comparison_mentions_status(self):
+        _, rows = bench.compare_to_baseline(
+            _result({"a": 1.0}), _result({"a": 0.2}), tolerance=2.0
+        )
+        text = bench.render_comparison(rows, 2.0)
+        assert "regressed" in text

@@ -71,3 +71,9 @@ class TestFullReproduction:
         for figure_id, result in results.items():
             assert result.rows, f"{figure_id} produced no rows"
             assert result.summary, f"{figure_id} produced no summary"
+
+    def test_generate_all_parallel_matches_serial(self):
+        serial = generate_all(fast=True, workers=1)
+        parallel = generate_all(fast=True, workers=2)
+        assert list(serial) == list(parallel)  # deterministic ordering
+        assert serial == parallel

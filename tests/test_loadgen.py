@@ -11,6 +11,7 @@ from repro.serving import (
     poisson_arrivals,
     run_load_test,
 )
+from repro.serving.loadgen import run_load_sweep
 
 
 def _engine_factory(device_name="gaudi2", max_batch=16):
@@ -26,6 +27,19 @@ def _engine_factory(device_name="gaudi2", max_batch=16):
 
 def _request_factory(n=24):
     return lambda: fixed_length_requests(n, input_len=128, output_len=32)
+
+
+# Top-level (picklable) factories for the process-pool sweep tests.
+def _small_engine():
+    return LlmServingEngine(
+        LlamaCostModel(LLAMA_3_1_8B, get_device("gaudi2")),
+        DecodeAttention.PAGED_OPT,
+        max_decode_batch=8,
+    )
+
+
+def _small_requests():
+    return fixed_length_requests(10, input_len=128, output_len=16)
 
 
 class TestPoissonArrivals:
@@ -69,6 +83,41 @@ class TestLoadTest:
         assert heavy.p99_ttft >= heavy.mean_ttft
 
 
+class TestLoadSweep:
+    RATES = [2.0, 400.0]
+
+    def test_serial_sweep_is_deterministic(self):
+        a = run_load_sweep(
+            engine_factory=_small_engine, request_factory=_small_requests,
+            rates=self.RATES, seed=5,
+        )
+        b = run_load_sweep(
+            engine_factory=_small_engine, request_factory=_small_requests,
+            rates=self.RATES, seed=5,
+        )
+        assert a == b
+
+    def test_parallel_matches_serial(self):
+        """Satellite 6: the sweep is bit-identical across a process pool."""
+        serial = run_load_sweep(
+            engine_factory=_small_engine, request_factory=_small_requests,
+            rates=self.RATES, seed=5, workers=1,
+        )
+        parallel = run_load_sweep(
+            engine_factory=_small_engine, request_factory=_small_requests,
+            rates=self.RATES, seed=5, workers=2,
+        )
+        assert serial == parallel
+
+    def test_points_get_distinct_seeds(self):
+        # Two identical rates must still draw different arrival processes.
+        reports = run_load_sweep(
+            engine_factory=_small_engine, request_factory=_small_requests,
+            rates=[8.0, 8.0], seed=5,
+        )
+        assert reports[0] != reports[1]
+
+
 class TestSustainableRate:
     def test_bisection_converges_between_bounds(self):
         rate = max_sustainable_rate(
@@ -82,6 +131,18 @@ class TestSustainableRate:
     def test_invalid_bounds(self):
         with pytest.raises(ValueError):
             max_sustainable_rate(_engine_factory(), _request_factory(), 10.0, 5.0)
+
+    def test_parallel_search_finds_sustainable_rate(self):
+        rate = max_sustainable_rate(
+            _small_engine, _small_requests, low=1.0, high=500.0,
+            iterations=4, workers=2,
+        )
+        assert 1.0 <= rate <= 500.0
+        report = run_load_test(
+            engine_factory=_small_engine, request_factory=_small_requests,
+            offered_rate=rate,
+        )
+        assert not report.saturated
 
     def test_gaudi_sustains_higher_rate_than_a100(self):
         """The Figure 17(d) ordering under open-loop load."""
