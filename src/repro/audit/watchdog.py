@@ -1,0 +1,86 @@
+"""Per-point step/wall watchdog for long simulations.
+
+A wedged simulation (a scheduling livelock, a pathological parameter
+point) would otherwise stall a whole sweep.  A :class:`Watchdog` bounds
+one simulated point by engine steps and/or wall-clock seconds; tripping
+raises :class:`~repro.audit.errors.WatchdogExceeded`, which the serving
+engine converts into a typed *partial* report
+(``ServingReport.watchdog_reason``) so the sweep records the point as
+degraded instead of hanging or dying.
+
+Budgets come from the constructor or the ``REPRO_WATCHDOG_STEPS`` /
+``REPRO_WATCHDOG_WALL`` environment variables (see :meth:`from_env`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.audit.errors import ConfigError, WatchdogExceeded
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Step/wall budget for one simulated point."""
+
+    __slots__ = ("max_steps", "max_wall_seconds", "_started")
+
+    def __init__(
+        self,
+        max_steps: Optional[int] = None,
+        max_wall_seconds: Optional[float] = None,
+    ) -> None:
+        if max_steps is not None and max_steps < 1:
+            raise ConfigError(f"max_steps must be >= 1, got {max_steps!r}")
+        if max_wall_seconds is not None and max_wall_seconds <= 0:
+            raise ConfigError(
+                f"max_wall_seconds must be positive, got {max_wall_seconds!r}"
+            )
+        self.max_steps = max_steps
+        self.max_wall_seconds = max_wall_seconds
+        self._started: Optional[float] = None
+
+    @classmethod
+    def from_env(cls) -> Optional["Watchdog"]:
+        """A watchdog per ``REPRO_WATCHDOG_STEPS`` / ``REPRO_WATCHDOG_WALL``,
+        or None when neither is set."""
+        steps = os.environ.get("REPRO_WATCHDOG_STEPS")
+        wall = os.environ.get("REPRO_WATCHDOG_WALL")
+        if not steps and not wall:
+            return None
+        return cls(
+            max_steps=int(steps) if steps else None,
+            max_wall_seconds=float(wall) if wall else None,
+        )
+
+    @property
+    def armed(self) -> bool:
+        return self.max_steps is not None or self.max_wall_seconds is not None
+
+    def start(self) -> "Watchdog":
+        """Arm the wall-clock budget; returns self for chaining."""
+        self._started = time.monotonic()
+        return self
+
+    def elapsed(self) -> float:
+        return 0.0 if self._started is None else time.monotonic() - self._started
+
+    def check(self, steps: int) -> None:
+        """Raise :class:`WatchdogExceeded` when a budget is blown."""
+        if self.max_steps is not None and steps >= self.max_steps:
+            raise WatchdogExceeded(
+                f"step budget exceeded: {steps} engine steps >= {self.max_steps}",
+                steps=steps,
+            )
+        if self.max_wall_seconds is not None and self._started is not None:
+            elapsed = time.monotonic() - self._started
+            if elapsed >= self.max_wall_seconds:
+                raise WatchdogExceeded(
+                    f"wall budget exceeded: {elapsed:.3f}s >= "
+                    f"{self.max_wall_seconds:g}s after {steps} engine steps",
+                    steps=steps,
+                    wall_seconds=elapsed,
+                )

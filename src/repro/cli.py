@@ -11,9 +11,13 @@ Subcommands::
     python -m repro top --device gaudi2 --samples 10
     python -m repro smi --workload llm --device gaudi2
     python -m repro bench --check              # perf-regression smoke gate
+    python -m repro reproduce --out runs/r0    # journaled full reproduction
+    python -m repro resume runs/r0             # finish an interrupted run
 
 Every report-producing subcommand renders through the shared
 :func:`repro.api.render_report` path (``--format text|json|csv``).
+Subcommands that simulate accept ``--audit off|sample|strict`` to turn
+on the runtime invariant auditor (equivalent to ``REPRO_AUDIT``).
 """
 
 from __future__ import annotations
@@ -204,7 +208,52 @@ def _cmd_top(args: argparse.Namespace) -> int:
     print()
     print("Cost-model caches (shape-keyed memoization):")
     print(memo.render_stats())
+    from repro.audit import get_auditor
+
+    auditor = get_auditor()
+    print()
+    print("Runtime invariant auditor:")
+    if auditor is None:
+        print("  mode       : off (enable with --audit or REPRO_AUDIT)")
+    else:
+        auditor.publish_metrics(ctx.metrics)
+        print(auditor.render())
     return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.core.reproduce import reproduce
+
+    result = reproduce(
+        args.out,
+        fast=not args.full,
+        figure_ids=args.id or None,
+        workers=args.workers,
+    )
+    print(result.render())
+    return _print_audit_summary()
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.core.reproduce import resume
+
+    result = resume(args.run_dir, workers=args.workers)
+    print(result.render())
+    return _print_audit_summary()
+
+
+def _print_audit_summary() -> int:
+    """Append the auditor section when auditing is on; non-zero exit
+    when violations were counted (sample mode -- strict raises)."""
+    from repro.audit import get_auditor
+
+    auditor = get_auditor()
+    if auditor is None:
+        return 0
+    print()
+    print("Runtime invariant auditor:")
+    print(auditor.render())
+    return 1 if auditor.total_violations else 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -295,6 +344,14 @@ def _cmd_smi(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_audit_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--audit", default=None, choices=["off", "sample", "strict"],
+        help="runtime invariant auditor mode (same as REPRO_AUDIT; "
+             "strict raises on the first violation)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -324,7 +381,39 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--workers", default=None,
                          help="process-pool size for regenerating all figures "
                               "(an int or 'auto'; default: REPRO_WORKERS or serial)")
+    _add_audit_flag(figures)
     figures.set_defaults(fn=_cmd_figures)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="journaled, crash-safe reproduction of every figure",
+        description=(
+            "Run the full figure set, durably journaling each completed "
+            "figure under the run directory.  If the process dies, "
+            "`repro resume <run-dir>` re-runs only the missing figures "
+            "and produces byte-identical report.txt/report.json."
+        ),
+    )
+    reproduce.add_argument("--out", default="runs/reproduce",
+                           help="run directory for the journal and reports")
+    reproduce.add_argument("--full", action="store_true",
+                           help="full parameter grids (default: fast)")
+    reproduce.add_argument("--id", action="append", default=[],
+                           help="one figure id (repeatable; default: all)")
+    reproduce.add_argument("--workers", default=None,
+                           help="process-pool size (an int or 'auto')")
+    _add_audit_flag(reproduce)
+    reproduce.set_defaults(fn=_cmd_reproduce)
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted `repro reproduce` run from its journal",
+    )
+    resume.add_argument("run_dir", help="run directory holding journal.jsonl")
+    resume.add_argument("--workers", default=None,
+                        help="process-pool size (an int or 'auto')")
+    _add_audit_flag(resume)
+    resume.set_defaults(fn=_cmd_resume)
 
     serve = sub.add_parser("serve", help="run the vLLM-style serving simulation")
     serve.add_argument("--model", default="8b", choices=["8b", "70b"])
@@ -334,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=64)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--format", default="text", choices=["text", "json", "csv"])
+    _add_audit_flag(serve)
     serve.set_defaults(fn=_cmd_serve)
 
     trace = sub.add_parser(
@@ -356,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap the workload at 16 requests")
     trace.add_argument("--out", default="trace.json",
                        help="output path for the chrome trace")
+    _add_audit_flag(trace)
     trace.set_defaults(fn=_cmd_trace)
 
     top = sub.add_parser(
@@ -370,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--seed", type=int, default=0)
     top.add_argument("--samples", type=int, default=10,
                      help="number of virtual-time sampling windows")
+    _add_audit_flag(top)
     top.set_defaults(fn=_cmd_top)
 
     chaos = sub.add_parser(
@@ -416,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="emit the report as JSON (same as --format json)")
     chaos.add_argument("--format", default="text", choices=["text", "json", "csv"])
+    _add_audit_flag(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
 
     bench = sub.add_parser(
@@ -459,6 +552,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "audit", None):
+        from repro.audit import configure
+
+        configure(args.audit)
     try:
         return args.fn(args)
     except BrokenPipeError:

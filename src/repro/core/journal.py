@@ -1,0 +1,166 @@
+"""Append-only, checksummed journal of completed run points.
+
+Long runs (``repro reproduce``, load sweeps) record each completed
+point as one JSONL line the moment it finishes, so a crash -- a killed
+worker, an OOM, a power cut -- loses at most the in-flight point.
+``repro resume <run-dir>`` then re-runs only the missing or corrupt
+points; because every point derives its randomness from its own
+:func:`~repro.serving.loadgen.sweep_seeds` child seed, the resumed
+output is bit-identical to an uninterrupted run.
+
+Line format (one JSON object per line)::
+
+    {"kind": "header"|"point", "key": str, "crc": int, "payload": {...}}
+
+``crc`` is the CRC32 of the *canonical* JSON encoding of ``payload``
+(sorted keys, compact separators), so a torn write -- the usual
+crash-at-the-wrong-moment artifact -- is detected and the line is
+skipped on load rather than poisoning the resume.  Appends flush and
+fsync before returning: once :meth:`RunJournal.append` returns, the
+point survives the process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.audit.errors import JournalError
+
+__all__ = ["RunJournal", "canonical_json", "checksum"]
+
+#: File name used for the journal inside a run directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON encoding (sorted keys, compact separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def checksum(payload: object) -> int:
+    """CRC32 over the canonical JSON encoding of ``payload``."""
+    return zlib.crc32(canonical_json(payload).encode("utf-8")) & 0xFFFFFFFF
+
+
+class RunJournal:
+    """One append-only JSONL journal (see module docstring).
+
+    ``path`` may be the journal file itself or a run directory (the
+    journal is then ``<dir>/journal.jsonl``).  The directory is created
+    on first append.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        path = pathlib.Path(path)
+        if path.suffix != ".jsonl":
+            path = path / JOURNAL_NAME
+        self.path = path
+
+    def __repr__(self) -> str:
+        return f"RunJournal({str(self.path)!r})"
+
+    # -- writing -------------------------------------------------------
+    def _append_line(self, record: Dict[str, object]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def write_header(self, payload: Dict[str, object]) -> None:
+        """Record the run's configuration as the journal's first line.
+
+        On an existing journal the stored header must match ``payload``
+        exactly -- resuming a run with different parameters would
+        silently mix incompatible points, so it raises
+        :class:`~repro.audit.JournalError` instead.
+        """
+        existing = self.load_header()
+        if existing is not None:
+            if existing != payload:
+                raise JournalError(
+                    f"journal {self.path} was written by a different run "
+                    f"configuration: stored {canonical_json(existing)} "
+                    f"!= requested {canonical_json(payload)}"
+                )
+            return
+        self._append_line(
+            {"kind": "header", "key": "header", "crc": checksum(payload),
+             "payload": payload}
+        )
+
+    def append(self, key: str, payload: Dict[str, object]) -> None:
+        """Durably record one completed point under ``key``.
+
+        ``payload`` must be JSON-serializable; if the same key is
+        appended twice (e.g. a retry raced a crash), the *last* valid
+        line wins on load.
+        """
+        if not key or key == "header":
+            raise JournalError(f"invalid journal key {key!r}")
+        self._append_line(
+            {"kind": "point", "key": key, "crc": checksum(payload),
+             "payload": payload}
+        )
+
+    # -- reading -------------------------------------------------------
+    def _iter_valid(self) -> Iterable[Tuple[str, str, Dict[str, object]]]:
+        """(kind, key, payload) for every line that parses and checks."""
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except (ValueError, TypeError):
+                    self._skipped += 1
+                    continue
+                if not isinstance(record, dict):
+                    self._skipped += 1
+                    continue
+                payload = record.get("payload")
+                if record.get("crc") != checksum(payload):
+                    self._skipped += 1
+                    continue
+                kind = record.get("kind")
+                key = record.get("key")
+                if kind not in ("header", "point") or not isinstance(key, str):
+                    self._skipped += 1
+                    continue
+                yield kind, key, payload
+
+    def load(self) -> Tuple[Optional[Dict[str, object]], Dict[str, Dict[str, object]], int]:
+        """``(header, {key: payload}, skipped)`` from the journal.
+
+        Corrupt lines (torn writes, bad checksums) are counted in
+        ``skipped`` and ignored; a missing journal loads as
+        ``(None, {}, 0)``.
+        """
+        self._skipped = 0
+        header: Optional[Dict[str, object]] = None
+        points: Dict[str, Dict[str, object]] = {}
+        for kind, key, payload in self._iter_valid():
+            if kind == "header":
+                if header is None:
+                    header = payload
+            else:
+                points[key] = payload
+        return header, points, self._skipped
+
+    def load_header(self) -> Optional[Dict[str, object]]:
+        """Just the header payload (None when absent/corrupt)."""
+        header, _, _ = self.load()
+        return header
+
+    def completed_keys(self) -> Dict[str, Dict[str, object]]:
+        """The valid point payloads, keyed (last write wins)."""
+        _, points, _ = self.load()
+        return points

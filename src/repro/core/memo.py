@@ -29,6 +29,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, Hashable, Iterator, List, Optional
 
+from repro.audit import get_auditor
+
 __all__ = [
     "CostCache",
     "cache_stats",
@@ -76,7 +78,10 @@ def disabled() -> Iterator[None]:
 class CostCache:
     """One bounded LRU cache with hit/miss/eviction counters."""
 
-    __slots__ = ("name", "maxsize", "hits", "misses", "evictions", "_data", "__weakref__")
+    __slots__ = (
+        "name", "maxsize", "hits", "misses", "evictions", "_data",
+        "_pending_verify", "__weakref__",
+    )
 
     def __init__(self, name: str, maxsize: int = DEFAULT_MAXSIZE) -> None:
         if maxsize <= 0:
@@ -87,16 +92,30 @@ class CostCache:
         self.misses = 0
         self.evictions = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        #: Keys whose next put() is a sampled audit recompute to compare
+        #: against the cached entry (see repro.audit memo-equivalence).
+        self._pending_verify: set = set()
         _REGISTRY.add(self)
 
     def get(self, key: Hashable) -> Optional[Any]:
-        """The cached value, or None on a miss (counted)."""
+        """The cached value, or None on a miss (counted).
+
+        With auditing enabled (``REPRO_AUDIT=sample|strict``), a seeded
+        fraction of hits is deliberately reported as a miss: the caller
+        recomputes, and the following :meth:`put` compares the fresh
+        value against the cached one (memo-equivalence check).
+        """
         if not _enabled:
             return None
         data = self._data
         try:
             value = data[key]
         except KeyError:
+            self.misses += 1
+            return None
+        auditor = get_auditor()
+        if auditor is not None and auditor.should_verify_memo():
+            self._pending_verify.add(key)
             self.misses += 1
             return None
         data.move_to_end(key)
@@ -109,6 +128,11 @@ class CostCache:
         if not _enabled:
             return
         data = self._data
+        if self._pending_verify and key in self._pending_verify:
+            self._pending_verify.discard(key)
+            auditor = get_auditor()
+            if auditor is not None and key in data:
+                auditor.on_memo_result(self.name, key, data[key], value)
         if key in data:
             data.move_to_end(key)
             data[key] = value
@@ -121,6 +145,7 @@ class CostCache:
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         self._data.clear()
+        self._pending_verify.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.api.compat import positional_shim
+from repro.audit import ConfigError, get_auditor
 from repro.comm.api import HcclLibrary, NcclLibrary
 from repro.comm.topology import (
     DegradedMeshTopology,
@@ -67,12 +68,37 @@ class ChaosConfig:
     plan: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
+        """Reject impossible experiments at construction, naming the
+        offending field (:class:`~repro.audit.ConfigError` is also a
+        ``ValueError``, so older ``except ValueError`` callers hold)."""
         if self.model not in ("8b", "70b"):
-            raise ValueError("model must be '8b' or '70b'")
+            raise ConfigError(f"model must be '8b' or '70b', got {self.model!r}")
         if self.tp < 1:
-            raise ValueError("tp must be >= 1")
+            raise ConfigError(f"tp must be >= 1, got {self.tp}")
+        if self.max_decode_batch < 1:
+            raise ConfigError(
+                f"max_decode_batch must be >= 1, got {self.max_decode_batch}"
+            )
         if self.num_requests < 1:
-            raise ValueError("num_requests must be >= 1")
+            raise ConfigError(f"num_requests must be >= 1, got {self.num_requests}")
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigError(f"rate must be positive, got {self.rate}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigError(f"deadline must be positive, got {self.deadline}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.checkpoint_interval < 1:
+            raise ConfigError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
+        if self.num_kv_blocks is not None and self.num_kv_blocks < 1:
+            raise ConfigError(
+                f"num_kv_blocks must be >= 1, got {self.num_kv_blocks}"
+            )
+        if not 0.0 < self.admission_watermark <= 1.0:
+            raise ConfigError(
+                f"admission_watermark must be in (0, 1], got {self.admission_watermark}"
+            )
 
 
 def _build_collectives(config: ChaosConfig, health: FabricHealth):
@@ -159,7 +185,7 @@ def run_chaos(*, config: ChaosConfig, ctx=None) -> ResilienceReport:
             ).bus_bandwidth
 
     shed_reasons = _shed_reason_counts(list(requests))
-    return ResilienceReport(
+    resilience = ResilienceReport(
         device=device.name,
         model=llama.name,
         tp_degree=config.tp,
@@ -190,3 +216,9 @@ def run_chaos(*, config: ChaosConfig, ctx=None) -> ResilienceReport:
         shed_reasons=tuple(sorted(shed_reasons.items())),
         fault_log=tuple(event.describe() for event in injector.fired),
     )
+    auditor = get_auditor()
+    if auditor is not None:
+        # The engine audited its own ServingReport; this re-checks the
+        # chaos-level aggregation (partition, latency signs, p50<=p99).
+        auditor.begin_run("chaos.report").check_report(resilience, ttfts)
+    return resilience

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.audit import ConfigError
 from repro.faults.events import FaultEvent, FaultKind
 
 
@@ -33,7 +34,9 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.kernel_fault_rate < 1.0:
-            raise ValueError("kernel_fault_rate must be in [0, 1)")
+            raise ConfigError(
+                f"kernel_fault_rate must be in [0, 1), got {self.kernel_fault_rate!r}"
+            )
 
     # -- builders ------------------------------------------------------
     def add(self, event: FaultEvent) -> "FaultPlan":
@@ -45,11 +48,16 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Hard device failure, optionally followed by recovery."""
         if device < 0:
-            raise ValueError("device must be >= 0")
+            raise ConfigError(f"device must be >= 0, got {device}")
+        if at < 0:
+            raise ConfigError(f"failure time must be >= 0, got {at!r}")
         self.add(FaultEvent(at, FaultKind.DEVICE_FAIL, device=device))
         if recover_at is not None:
             if recover_at <= at:
-                raise ValueError("recovery must come after the failure")
+                raise ConfigError(
+                    f"recovery (recover_at={recover_at!r}) must come after "
+                    f"the failure (at={at!r})"
+                )
             self.add(FaultEvent(recover_at, FaultKind.DEVICE_RECOVER, device=device))
         return self
 
@@ -57,10 +65,19 @@ class FaultPlan:
         self, a: int, b: int, factor: float, at: float, until: Optional[float] = None
     ) -> "FaultPlan":
         """Reduce one P2P link to ``factor`` of its bandwidth."""
+        if a < 0 or b < 0:
+            raise ConfigError(f"link devices must be >= 0, got {a}-{b}")
+        if a == b:
+            raise ConfigError(f"link endpoints must differ, got {a}-{b}")
+        if not 0.0 <= factor <= 1.0:
+            raise ConfigError(f"link factor must be in [0, 1], got {factor!r}")
         self.add(FaultEvent(at, FaultKind.LINK_DEGRADE, device=a, peer=b, factor=factor))
         if until is not None:
             if until <= at:
-                raise ValueError("restore must come after the degradation")
+                raise ConfigError(
+                    f"restore (until={until!r}) must come after the "
+                    f"degradation (at={at!r})"
+                )
             self.add(FaultEvent(until, FaultKind.LINK_RESTORE, device=a, peer=b))
         return self
 
@@ -68,8 +85,10 @@ class FaultPlan:
         self, a: int, b: int, at: float, period: float, cycles: int
     ) -> "FaultPlan":
         """A flapping link: down for ``period / 2``, up for ``period / 2``."""
-        if period <= 0 or cycles < 1:
-            raise ValueError("need period > 0 and cycles >= 1")
+        if period <= 0:
+            raise ConfigError(f"period must be positive, got {period!r}")
+        if cycles < 1:
+            raise ConfigError(f"cycles must be >= 1, got {cycles}")
         for i in range(cycles):
             start = at + i * period
             self.degrade_link(a, b, 0.0, start, until=start + period / 2)
@@ -79,10 +98,15 @@ class FaultPlan:
         self, factor: float, at: float, until: Optional[float] = None
     ) -> "FaultPlan":
         """Thermal HBM throttling: memory bandwidth drops to ``factor``."""
+        if not 0.0 < factor <= 1.0:
+            raise ConfigError(f"HBM throttle factor must be in (0, 1], got {factor!r}")
         self.add(FaultEvent(at, FaultKind.HBM_THROTTLE, factor=factor))
         if until is not None:
             if until <= at:
-                raise ValueError("restore must come after the throttle")
+                raise ConfigError(
+                    f"restore (until={until!r}) must come after the "
+                    f"throttle (at={at!r})"
+                )
             self.add(FaultEvent(until, FaultKind.HBM_RESTORE))
         return self
 
@@ -91,10 +115,17 @@ class FaultPlan:
     ) -> "FaultPlan":
         """One device's TPCs run at ``factor`` speed (batch-synchronous
         steps slow to the straggler's pace)."""
+        if device < 0:
+            raise ConfigError(f"device must be >= 0, got {device}")
+        if not 0.0 < factor <= 1.0:
+            raise ConfigError(f"straggler factor must be in (0, 1], got {factor!r}")
         self.add(FaultEvent(at, FaultKind.TPC_STRAGGLER, device=device, factor=factor))
         if until is not None:
             if until <= at:
-                raise ValueError("clear must come after the slowdown")
+                raise ConfigError(
+                    f"clear (until={until!r}) must come after the "
+                    f"slowdown (at={at!r})"
+                )
             self.add(FaultEvent(until, FaultKind.STRAGGLER_CLEAR, device=device))
         return self
 

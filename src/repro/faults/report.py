@@ -143,10 +143,13 @@ class ResilienceReport:
             f"{self.device_recoveries} recoveries | "
             f"{self.alive_devices}/{self.tp_degree} devices alive at end"
         )
-        lines.append(
-            f"  latency    : mean TTFT {self.mean_ttft:.4f} s | "
-            f"p99 TTFT {self.p99_ttft:.4f} s | mean TPOT {self.mean_tpot * 1e3:.3f} ms"
-        )
+        if self.finished_requests > 0:
+            lines.append(
+                f"  latency    : mean TTFT {self.mean_ttft:.4f} s | "
+                f"p99 TTFT {self.p99_ttft:.4f} s | mean TPOT {self.mean_tpot * 1e3:.3f} ms"
+            )
+        else:
+            lines.append("  latency    : no finished requests")
         lines.append(
             f"  throughput : {self.throughput_tokens_per_s:.2f} tokens/s over "
             f"{self.total_time:.4f} s ({self.total_output_tokens} tokens)"

@@ -23,7 +23,7 @@ from repro.figures import (  # noqa: F401  (registration side effects)
     table1,
     table2,
 )
-from repro.core.parallel import resolve_worker_count
+from repro.core.parallel import map_with_retries, resolve_worker_count
 from repro.figures.common import FIGURES, FigureResult, get_figure, run_figure
 
 __all__ = ["FIGURES", "FigureResult", "generate_all", "get_figure", "run_figure"]
@@ -42,17 +42,17 @@ def generate_all(fast: bool = True, workers=None) -> dict:
     Figures are independent, so with ``workers`` (an int, ``"auto"``,
     or the ``REPRO_WORKERS`` environment variable; see
     :func:`repro.core.parallel.resolve_worker_count`) they fan across a
-    process pool.  Results are keyed and ordered by sorted figure id
-    either way, and each figure's computation is deterministic, so the
-    output does not depend on the worker count.
+    process pool; a worker process dying mid-figure rebuilds the pool
+    and retries the unfinished figures
+    (:func:`repro.core.parallel.map_with_retries`).  Results are keyed
+    and ordered by sorted figure id either way, and each figure's
+    computation is deterministic, so the output does not depend on the
+    worker count.
     """
     figure_ids = sorted(FIGURES)
     count = resolve_worker_count(workers, len(figure_ids))
     if count <= 1:
         return {figure_id: run_figure(figure_id=figure_id, fast=fast) for figure_id in figure_ids}
-    from concurrent.futures import ProcessPoolExecutor
-
     tasks = [(figure_id, fast) for figure_id in figure_ids]
-    with ProcessPoolExecutor(max_workers=count) as pool:
-        results = list(pool.map(_run_figure_task, tasks))
+    results = map_with_retries(_run_figure_task, tasks, workers=count)
     return dict(zip(figure_ids, results))

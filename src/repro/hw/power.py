@@ -115,6 +115,30 @@ class ActivityAccumulator:
         self.memory_seconds += other.memory_seconds
         self.comm_seconds += other.comm_seconds
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality over the accumulated engine-seconds; the memo
+        auditor compares recomputed activity against cached entries."""
+        if not isinstance(other, ActivityAccumulator):
+            return NotImplemented
+        return (
+            self.matrix_seconds == other.matrix_seconds
+            and self.matrix_active_weighted == other.matrix_active_weighted
+            and self.vector_seconds == other.vector_seconds
+            and self.memory_seconds == other.memory_seconds
+            and self.comm_seconds == other.comm_seconds
+        )
+
+    # Accumulators are mutable and never used as set/dict keys; keep
+    # the identity hash rather than becoming unhashable via __eq__.
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:
+        return (
+            f"ActivityAccumulator(matrix={self.matrix_seconds:.3e}, "
+            f"vector={self.vector_seconds:.3e}, memory={self.memory_seconds:.3e}, "
+            f"comm={self.comm_seconds:.3e})"
+        )
+
     def record_to(self, metrics) -> None:
         """Add this accumulator's engine-seconds to a
         :class:`~repro.obs.metrics.MetricsRegistry` (the MME/TPC/HBM

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.audit import get_auditor
 from repro.comm import CollectiveLibrary, HcclLibrary, NcclLibrary
 from repro.hw.device import A100Device, Device, Gaudi2Device
 
@@ -83,6 +84,9 @@ class TensorParallelConfig:
         if participants < 2:
             return 0.0
         time = self.library.all_reduce(size_bytes, participants).time
+        auditor = get_auditor()
+        if auditor is not None:
+            auditor.check_collective(time, size_bytes, participants, self.degree)
         if self.metrics is not None:
             self.metrics.counter("comm.allreduce.calls").inc()
             self.metrics.counter("comm.allreduce.bytes").inc(size_bytes)

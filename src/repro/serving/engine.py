@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.audit import Watchdog, WatchdogExceeded, get_auditor
 from repro.hw.power import ActivityAccumulator, PowerModel
 from repro.models.llama import DecodeAttention, DecodeBatchStats, LlamaCostModel
 from repro.serving.kv_cache import BlockManager, KvCacheError
@@ -95,6 +96,13 @@ class ServingReport:
     retried_requests: int = 0
     kernel_retries: int = 0
     device_failures: int = 0
+    #: Non-empty when a :class:`~repro.audit.Watchdog` stopped the run
+    #: early -- the report is then a typed *partial* result.
+    watchdog_reason: str = ""
+
+    @property
+    def watchdog_tripped(self) -> bool:
+        return bool(self.watchdog_reason)
 
     @property
     def throughput_tokens_per_s(self) -> float:
@@ -141,7 +149,35 @@ class ServingReport:
             "kernel_retries": self.kernel_retries,
             "device_failures": self.device_failures,
             "completion_rate": round(self.completion_rate, 6),
+            "watchdog_reason": self.watchdog_reason,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingReport":
+        """Rebuild a report from its :meth:`to_dict` payload (derived
+        rates are recomputed, not read back) -- the journal-resume path
+        for sweep points."""
+        return cls(
+            device=data["device"],
+            attention=data["attention"],
+            num_requests=int(data["num_requests"]),
+            max_decode_batch=int(data["max_decode_batch"]),
+            total_time=float(data["total_time"]),
+            total_output_tokens=int(data["total_output_tokens"]),
+            mean_ttft=float(data["mean_ttft"]),
+            mean_tpot=float(data["mean_tpot"]),
+            average_power=float(data["average_power"]),
+            engine_steps=int(data["engine_steps"]),
+            preemptions=int(data["preemptions"]),
+            finished_requests=int(data.get("finished_requests", 0)),
+            shed_requests=int(data.get("shed_requests", 0)),
+            failed_requests=int(data.get("failed_requests", 0)),
+            unfinished_requests=int(data.get("unfinished_requests", 0)),
+            retried_requests=int(data.get("retried_requests", 0)),
+            kernel_retries=int(data.get("kernel_retries", 0)),
+            device_failures=int(data.get("device_failures", 0)),
+            watchdog_reason=str(data.get("watchdog_reason", "")),
+        )
 
     def to_json(self) -> str:
         """The report as a JSON document."""
@@ -165,13 +201,20 @@ class ServingReport:
             f"{self.failed_requests} failed | {self.unfinished_requests} unfinished",
             f"  throughput : {self.throughput_tokens_per_s:.0f} tokens/s over "
             f"{self.total_time:.4f} s ({self.total_output_tokens} tokens)",
-            f"  mean TTFT  : {self.mean_ttft:.3f} s",
-            f"  mean TPOT  : {self.mean_tpot * 1e3:.1f} ms",
+        ]
+        if self.finished_requests == 0:
+            lines.append("  latency    : no finished requests")
+        else:
+            lines.append(f"  mean TTFT  : {self.mean_ttft:.3f} s")
+            lines.append(f"  mean TPOT  : {self.mean_tpot * 1e3:.1f} ms")
+        lines += [
             f"  power      : {self.average_power:.0f} W",
             f"  energy     : {self.energy_per_token * 1e3:.2f} mJ/token",
             f"  engine     : {self.engine_steps} steps | {self.preemptions} "
             f"preemptions | {self.kernel_retries} kernel retries",
         ]
+        if self.watchdog_reason:
+            lines.append(f"  watchdog   : PARTIAL RESULT ({self.watchdog_reason})")
         return "\n".join(lines)
 
 
@@ -188,6 +231,8 @@ class LlmServingEngine:
         policy: Optional[ResiliencePolicy] = None,
         injector: Optional[object] = None,
         ctx: Optional[object] = None,
+        auditor: Optional[object] = None,
+        watchdog: Optional[object] = None,
     ) -> None:
         """``injector`` is a :class:`~repro.faults.injector.FaultInjector`
         (duck-typed so the serving layer stays import-independent of
@@ -195,7 +240,11 @@ class LlmServingEngine:
         :class:`~repro.api.RunContext`; with one bound, the run records
         hierarchical spans on the virtual clock and ``engine.*`` /
         ``kv.*`` / ``scheduler.*`` / ``power.*`` metrics (see
-        :meth:`bind_context`)."""
+        :meth:`bind_context`).  ``auditor`` overrides the process
+        auditor (``REPRO_AUDIT``); ``watchdog`` is a
+        :class:`~repro.audit.Watchdog` bounding the run by steps/wall
+        time -- tripping it yields a typed partial report instead of a
+        wedged simulation."""
         self.model = model
         self.attention = attention
         if num_kv_blocks is None:
@@ -204,6 +253,9 @@ class LlmServingEngine:
         self.block_manager = BlockManager(num_kv_blocks, block_size)
         self.policy = policy
         self.injector = injector
+        self.auditor = auditor if auditor is not None else get_auditor()
+        self.watchdog = watchdog if watchdog is not None else Watchdog.from_env()
+        self.block_manager.bind_auditor(self.auditor)
         self.scheduler = ContinuousBatchingScheduler(
             self.block_manager,
             max_decode_batch,
@@ -325,10 +377,20 @@ class LlmServingEngine:
 
         Without a policy, an unservable request raises
         :class:`KvCacheError` (fail fast); with one, it is shed with a
-        reason and the run continues.
+        reason and the run continues.  An empty request list yields an
+        empty report (rendered as "no finished requests") rather than
+        raising.  With a watchdog armed, exceeding its step/wall budget
+        stops the run and returns a partial report carrying the typed
+        ``watchdog_reason``.
         """
-        if not requests:
-            raise ValueError("need at least one request")
+        audit = self.auditor.begin_run("serving.run") if self.auditor else None
+        self.scheduler.bind_audit(audit)
+        if audit is not None:
+            audit.set_token_baseline(sum(r.generated for r in requests))
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.start()
+        watchdog_reason = ""
         for request in requests:
             if self.policy and self.policy.deadline is not None and request.deadline is None:
                 request.deadline = self.policy.deadline
@@ -354,7 +416,11 @@ class LlmServingEngine:
             )
         try:
             while self.scheduler.has_unfinished:
+                if watchdog is not None:
+                    watchdog.check(steps)
                 now = self._advance_faults(now)
+                if audit is not None:
+                    audit.observe_clock(now)
                 self._enforce_deadlines(now)
                 schedule = self.scheduler.step(now)
                 if not schedule.has_work:
@@ -409,6 +475,8 @@ class LlmServingEngine:
                     if prefill_span is not None:
                         tracer.end(prefill_span, now)
                     request.record_token(now)
+                    if audit is not None:
+                        audit.on_tokens_emitted()
                     self._maybe_checkpoint(request)
                 running = [r for r in schedule.running if r.state is RequestState.RUNNING]
                 if not running:
@@ -465,6 +533,8 @@ class LlmServingEngine:
                         grew_all = False
                         continue
                     request.record_token(now)
+                    if audit is not None:
+                        audit.on_tokens_emitted()
                     self._maybe_checkpoint(request)
                 if grew_all and self.scheduler.mutation_count == batch_version:
                     # Every runner gained exactly one token: advance the
@@ -474,10 +544,31 @@ class LlmServingEngine:
                     batch_stats = None
                 if observing:
                     self._finish_step(step_span, step_start, now, step_activity, len(running))
+        except WatchdogExceeded as error:
+            # A wedged simulation becomes a typed partial result: release
+            # every held block and report what completed so far.
+            watchdog_reason = str(error)
+            self.block_manager.free_all()
+            if tracer is not None:
+                tracer.instant("watchdog_exceeded", "engine", now)
+            if self._metrics is not None:
+                self._metrics.counter("engine.watchdog_trips").inc()
         finally:
             if tracer is not None:
                 tracer.finish(now)
-        return self._build_report(requests, now, steps, preemptions, activity)
+            self.scheduler.bind_audit(None)
+        report = self._build_report(
+            requests, now, steps, preemptions, activity, watchdog_reason
+        )
+        if audit is not None:
+            audit.observe_clock(now)
+            audit.check_kv_drained(self.block_manager)
+            audit.check_token_conservation(sum(r.generated for r in requests))
+            audit.check_report(
+                report,
+                [r.ttft for r in requests if r.state is RequestState.FINISHED],
+            )
+        return report
 
     # ------------------------------------------------------------------
     def _submit(self, request: Request) -> None:
@@ -587,6 +678,7 @@ class LlmServingEngine:
         steps: int,
         preemptions: int,
         activity: ActivityAccumulator,
+        watchdog_reason: str = "",
     ) -> ServingReport:
         finished = [r for r in requests if r.state is RequestState.FINISHED]
         self.fault_stats.recovered_requests = sum(
@@ -615,8 +707,9 @@ class LlmServingEngine:
             for request in finished:
                 self._metrics.histogram("request.ttft").observe(request.ttft)
                 self._metrics.histogram("request.tpot").observe(request.tpot)
-        profile = activity.profile(now)
-        power = PowerModel(self.model.device.spec.power).power(profile)
+        power = 0.0
+        if now > 0:
+            power = PowerModel(self.model.device.spec.power).power(activity.profile(now))
         return ServingReport(
             device=self.model.device.name,
             attention=self.attention.value,
@@ -636,6 +729,7 @@ class LlmServingEngine:
             retried_requests=sum(1 for r in requests if r.retries > 0),
             kernel_retries=self.fault_stats.kernel_retries,
             device_failures=self.fault_stats.device_failures,
+            watchdog_reason=watchdog_reason,
         )
 
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Tuple
 
 
 class KvCacheError(RuntimeError):
@@ -48,7 +48,14 @@ class BlockManager:
     With a :class:`~repro.obs.metrics.MetricsRegistry` bound (see
     :meth:`bind_metrics`), every allocate/append/free updates the
     ``kv.*`` counters and occupancy gauge; unbound, the hooks cost one
-    None test.
+    None test.  Likewise an :class:`~repro.audit.Auditor` bound via
+    :meth:`bind_auditor` verifies block conservation after every pool
+    mutation.
+
+    Misuse (freeing an unknown or already-freed request id,
+    re-allocating an existing id) always raises :class:`KvCacheError` --
+    never a silent pass or a bare ``KeyError`` -- because a tolerated
+    double-free would silently skew every downstream occupancy metric.
     """
 
     def __init__(self, num_blocks: int, block_size: int, metrics=None) -> None:
@@ -60,10 +67,15 @@ class BlockManager:
         self._tables: Dict[int, List[int]] = {}
         self._tokens: Dict[int, int] = {}
         self.metrics = metrics
+        self.auditor = None
 
     def bind_metrics(self, metrics) -> None:
         """Attach a metrics registry (or None to detach)."""
         self.metrics = metrics
+
+    def bind_auditor(self, auditor) -> None:
+        """Attach an :class:`~repro.audit.Auditor` (or None to detach)."""
+        self.auditor = auditor
 
     def _observe_occupancy(self) -> None:
         self.metrics.gauge("kv.occupancy").set(
@@ -110,6 +122,8 @@ class BlockManager:
             self.metrics.counter("kv.allocations").inc()
             self.metrics.counter("kv.blocks_allocated").inc(needed)
             self._observe_occupancy()
+        if self.auditor is not None:
+            self.auditor.on_kv_op(self)
         return list(blocks)
 
     def append_token(self, request_id: int) -> bool:
@@ -126,19 +140,44 @@ class BlockManager:
             if self.metrics is not None:
                 self.metrics.counter("kv.blocks_allocated").inc()
                 self._observe_occupancy()
+            if self.auditor is not None:
+                self.auditor.on_kv_op(self)
             return True
         return False
 
     def free(self, request_id: int) -> None:
+        """Release a request's blocks.
+
+        Raises :class:`KvCacheError` for an unknown or already-freed
+        request id: a silent double-free would corrupt the pool's
+        conservation accounting.
+        """
         blocks = self._tables.pop(request_id, None)
         if blocks is None:
-            raise KvCacheError(f"request {request_id} has no allocation")
-        del self._tokens[request_id]
+            raise KvCacheError(
+                f"request {request_id} has no allocation to free "
+                "(unknown id or double free)"
+            )
+        self._tokens.pop(request_id, None)
         self._free.extend(reversed(blocks))
         if self.metrics is not None:
             self.metrics.counter("kv.frees").inc()
             self.metrics.counter("kv.blocks_freed").inc(len(blocks))
             self._observe_occupancy()
+        if self.auditor is not None:
+            self.auditor.on_kv_op(self)
+
+    def free_all(self) -> int:
+        """Release every allocation (engine teardown); returns how many
+        requests still held blocks.  Always leaves
+        ``allocated_blocks == 0`` -- asserted by the auditor when one
+        is bound."""
+        holders = list(self._tables)
+        for request_id in holders:
+            self.free(request_id)
+        if self.auditor is not None:
+            self.auditor.check_kv_drained(self, where="free_all")
+        return len(holders)
 
     def block_list(self, request_id: int) -> List[int]:
         try:
@@ -150,6 +189,19 @@ class BlockManager:
     @property
     def free_blocks(self) -> int:
         return len(self._free)
+
+    @property
+    def allocated_blocks(self) -> int:
+        return self.num_blocks - len(self._free)
+
+    # -- auditor views -------------------------------------------------
+    def iter_tables(self) -> Iterable[Tuple[int, List[int]]]:
+        """(request_id, blocks) pairs for ownership scans."""
+        return self._tables.items()
+
+    def free_block_ids(self) -> List[int]:
+        """The free list (auditor's double-ownership scan)."""
+        return list(self._free)
 
     def stats(self) -> KvCacheStats:
         allocated = self.num_blocks - len(self._free)

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.api.compat import positional_shim
 from repro.core.metrics import goodput_fraction, percentile, slo_violation_rate
-from repro.core.parallel import resolve_worker_count
+from repro.core.parallel import map_with_retries, resolve_worker_count
 from repro.serving.engine import LlmServingEngine, ServingReport
 from repro.serving.request import Request, RequestState, RetryPolicy
 
@@ -61,6 +61,29 @@ class LoadTestReport:
     def goodput_fraction(self) -> float:
         return self.achieved_rate / self.offered_rate if self.offered_rate else 0.0
 
+    def to_dict(self) -> dict:
+        """Exact (unrounded) JSON payload; round-trips bit-identically
+        through :meth:`from_dict` -- the sweep-journal contract."""
+        return {
+            "offered_rate": self.offered_rate,
+            "achieved_rate": self.achieved_rate,
+            "mean_ttft": self.mean_ttft,
+            "p99_ttft": self.p99_ttft,
+            "mean_tpot": self.mean_tpot,
+            "saturated": self.saturated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoadTestReport":
+        return cls(
+            offered_rate=float(data["offered_rate"]),
+            achieved_rate=float(data["achieved_rate"]),
+            mean_ttft=float(data["mean_ttft"]),
+            p99_ttft=float(data["p99_ttft"]),
+            mean_tpot=float(data["mean_tpot"]),
+            saturated=bool(data["saturated"]),
+        )
+
 
 def poisson_arrivals(
     requests: Sequence[Request], rate: float, seed: int = 0
@@ -97,14 +120,16 @@ def run_load_test(
     if ctx is not None:
         engine.bind_context(ctx)
     report: ServingReport = engine.run(requests)
-    last_arrival = max(r.arrival_time for r in requests)
-    achieved = len(requests) / report.total_time
-    ttfts = [r.ttft for r in requests]
+    last_arrival = max((r.arrival_time for r in requests), default=0.0)
+    achieved = len(requests) / report.total_time if report.total_time > 0 else 0.0
+    # Shed/failed requests never saw a first token; exclude them so
+    # zero-completion runs report zeros instead of raising.
+    ttfts = [r.ttft for r in requests if r.first_token_time is not None]
     return LoadTestReport(
         offered_rate=offered_rate,
         achieved_rate=achieved,
         mean_ttft=report.mean_ttft,
-        p99_ttft=percentile(ttfts, 99),
+        p99_ttft=percentile(ttfts, 99) if ttfts else 0.0,
         mean_tpot=report.mean_tpot,
         # Saturated when the engine finishes well after arrivals stop.
         saturated=report.total_time > 1.25 * last_arrival,
@@ -135,6 +160,38 @@ class ResilientLoadReport:
     @property
     def completion_rate(self) -> float:
         return self.serving.completion_rate
+
+    def to_dict(self) -> dict:
+        """JSON payload for sweep journaling.  Top-level fields are
+        exact; the nested serving report keeps its standard (rounded at
+        1e-9) encoding."""
+        return {
+            "offered_rate": self.offered_rate,
+            "finished": self.finished,
+            "shed": self.shed,
+            "failed": self.failed,
+            "retried": self.retried,
+            "mean_ttft": self.mean_ttft,
+            "p99_ttft": self.p99_ttft,
+            "slo_violation_rate": self.slo_violation_rate,
+            "goodput_fraction": self.goodput_fraction,
+            "serving": self.serving.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResilientLoadReport":
+        return cls(
+            offered_rate=float(data["offered_rate"]),
+            finished=int(data["finished"]),
+            shed=int(data["shed"]),
+            failed=int(data["failed"]),
+            retried=int(data["retried"]),
+            mean_ttft=float(data["mean_ttft"]),
+            p99_ttft=float(data["p99_ttft"]),
+            slo_violation_rate=float(data["slo_violation_rate"]),
+            goodput_fraction=float(data["goodput_fraction"]),
+            serving=ServingReport.from_dict(data["serving"]),
+        )
 
 
 @positional_shim("engine_factory", "request_factory", "offered_rate", "seed")
@@ -199,6 +256,11 @@ def _load_point(task) -> LoadTestReport:
     )
 
 
+def _point_key(index: int) -> str:
+    """Journal key of sweep point ``index``."""
+    return f"point-{index:04d}"
+
+
 @positional_shim("engine_factory", "request_factory", "rates", "seed")
 def run_load_sweep(
     *,
@@ -208,6 +270,7 @@ def run_load_sweep(
     seed: Optional[int] = None,
     workers: Optional[object] = None,
     resilient: bool = False,
+    journal: Optional[object] = None,
     ctx=None,
 ) -> List[LoadTestReport]:
     """Serve one load point per rate; results are in ``rates`` order.
@@ -216,6 +279,17 @@ def run_load_sweep(
     :func:`sweep_seeds` child seed, so the sweep is bit-identical
     whether it runs serially or across a process pool (``workers``,
     resolved by :func:`repro.core.parallel.resolve_worker_count`).
+    Worker-process death is retried with backoff
+    (:func:`repro.core.parallel.map_with_retries`), so a killed worker
+    costs a rebuilt pool, not the sweep.
+
+    With ``journal`` set (a :class:`~repro.core.journal.RunJournal` or
+    a path), each completed point is durably appended as it finishes,
+    and re-running the same sweep against the same journal reuses the
+    completed points instead of recomputing them -- crash-safe resume.
+    The journal header pins ``(rates, seed, resilient)``; a mismatch
+    raises :class:`~repro.audit.JournalError`.
+
     With ``workers > 1`` the factories must be picklable (top-level
     functions, not closures) and ``ctx`` observability stays on the
     parent process only; pass ``resilient=True`` to run
@@ -230,13 +304,40 @@ def run_load_sweep(
         (engine_factory, request_factory, rate, point_seed, resilient)
         for rate, point_seed in zip(rates, point_seeds)
     ]
-    count = resolve_worker_count(workers, len(tasks))
-    if count <= 1:
-        return [_load_point(task) for task in tasks]
-    from concurrent.futures import ProcessPoolExecutor
+    report_cls = ResilientLoadReport if resilient else LoadTestReport
+    reports: List[Optional[LoadTestReport]] = [None] * len(tasks)
+    if journal is not None:
+        from repro.core.journal import RunJournal
 
-    with ProcessPoolExecutor(max_workers=count) as pool:
-        return list(pool.map(_load_point, tasks))
+        if not isinstance(journal, RunJournal):
+            journal = RunJournal(journal)
+        journal.write_header({
+            "tool": "load_sweep",
+            "rates": [float(rate) for rate in rates],
+            "seed": int(seed),
+            "resilient": bool(resilient),
+        })
+        points = journal.completed_keys()
+        for index in range(len(tasks)):
+            payload = points.get(_point_key(index))
+            if payload is not None:
+                reports[index] = report_cls.from_dict(payload)
+    pending = [index for index in range(len(tasks)) if reports[index] is None]
+
+    def _store(position: int, report) -> None:
+        index = pending[position]
+        reports[index] = report
+        if journal is not None:
+            journal.append(_point_key(index), report.to_dict())
+
+    if pending:
+        map_with_retries(
+            _load_point,
+            [tasks[index] for index in pending],
+            workers=workers,
+            on_result=_store,
+        )
+    return reports
 
 
 def max_sustainable_rate(
@@ -274,23 +375,20 @@ def max_sustainable_rate(
             else:
                 low = mid
         return low
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=count) as pool:
-        for _ in range(iterations):
-            span = high - low
-            probes = [low + span * (j + 1) / (count + 1) for j in range(count)]
-            tasks = [
-                (engine_factory, request_factory, rate, seed, False)
-                for rate in probes
-            ]
-            reports = list(pool.map(_load_point, tasks))
-            new_high = high
-            new_low = low
-            for rate, report in zip(probes, reports):
-                if report.saturated:
-                    new_high = min(new_high, rate)
-                    break
-                new_low = rate
-            low, high = new_low, new_high
+    for _ in range(iterations):
+        span = high - low
+        probes = [low + span * (j + 1) / (count + 1) for j in range(count)]
+        tasks = [
+            (engine_factory, request_factory, rate, seed, False)
+            for rate in probes
+        ]
+        reports = map_with_retries(_load_point, tasks, workers=count)
+        new_high = high
+        new_low = low
+        for rate, report in zip(probes, reports):
+            if report.saturated:
+                new_high = min(new_high, rate)
+                break
+            new_low = rate
+        low, high = new_low, new_high
     return low

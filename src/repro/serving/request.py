@@ -1,10 +1,19 @@
-"""Request lifecycle for the serving engine."""
+"""Request lifecycle for the serving engine.
+
+Every state change funnels through :meth:`Request._transition`, so a
+process auditor (``REPRO_AUDIT``, see :mod:`repro.audit`) can verify
+lifecycle legality -- ``waiting -> running -> {preempted(waiting),
+finished, shed, failed}`` only -- no matter which layer drives the
+transition.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
 from typing import Optional
+
+from repro.audit import get_auditor
 
 
 class RequestState(enum.Enum):
@@ -69,6 +78,17 @@ class Request:
         if self.input_tokens <= 0 or self.output_tokens <= 0:
             raise ValueError("input_tokens and output_tokens must be positive")
 
+    def _transition(self, new_state: RequestState) -> None:
+        """Move to ``new_state``, auditing legality when enabled."""
+        auditor = get_auditor()
+        if auditor is not None:
+            auditor.on_transition(self.request_id, self.state, new_state)
+        self.state = new_state
+
+    def start_running(self) -> None:
+        """Admission: the scheduler moved this request into the batch."""
+        self._transition(RequestState.RUNNING)
+
     @property
     def context_len(self) -> int:
         """Current KV length: prompt plus generated tokens."""
@@ -86,7 +106,7 @@ class Request:
         if self.first_token_time is None:
             self.first_token_time = now
         if self.done:
-            self.state = RequestState.FINISHED
+            self._transition(RequestState.FINISHED)
             self.finish_time = now
 
     # -- fault/degradation transitions -----------------------------------
@@ -99,7 +119,7 @@ class Request:
         checkpoint were already delivered, so the original
         ``first_token_time`` is kept.
         """
-        self.state = RequestState.WAITING
+        self._transition(RequestState.WAITING)
         self.restarts += 1
         self.generated = self.checkpoint if from_checkpoint else 0
         if self.generated == 0:
@@ -110,19 +130,19 @@ class Request:
         """Reject with a reason instead of crashing the run."""
         if self.state is RequestState.FINISHED:
             raise RuntimeError(f"request {self.request_id} already finished")
-        self.state = RequestState.SHED
+        self._transition(RequestState.SHED)
         self.shed_reason = reason
 
     def fail(self, reason: str) -> None:
         """Give up permanently (retry budget exhausted)."""
-        self.state = RequestState.FAILED
+        self._transition(RequestState.FAILED)
         self.shed_reason = reason
 
     def resubmit(self, at: float) -> None:
         """Client retry: re-enter the wait queue as a fresh arrival."""
         self.retries += 1
         self.arrival_time = at
-        self.state = RequestState.WAITING
+        self._transition(RequestState.WAITING)
         self.generated = 0
         self.checkpoint = 0
         self.first_token_time = None

@@ -78,6 +78,10 @@ class ContinuousBatchingScheduler:
         self.mutation_count = 0
         self.tracer = None
         self.metrics = None
+        #: Per-run :class:`~repro.audit.RunAudit` handle (None = off);
+        #: the engine binds it so preemption/resubmission rollbacks
+        #: enter the token-conservation ledger.
+        self.audit = None
         #: Virtual time of the last :meth:`step`; preempt/shed events
         #: (which take no clock argument) are stamped with it.
         self._last_now = 0.0
@@ -86,6 +90,10 @@ class ContinuousBatchingScheduler:
         """Attach a tracer / metrics registry (None disables either)."""
         self.tracer = tracer
         self.metrics = metrics
+
+    def bind_audit(self, audit) -> None:
+        """Attach a per-run audit handle (or None to detach)."""
+        self.audit = audit
 
     def submit(self, request: Request) -> None:
         if request.state is not RequestState.WAITING:
@@ -103,6 +111,9 @@ class ContinuousBatchingScheduler:
         """Pull a waiting request and resubmit it to arrive at ``at``
         (client-style deadline retry with backoff)."""
         self.waiting.remove(request)
+        if self.audit is not None:
+            # Resubmission discards checkpointed progress.
+            self.audit.on_tokens_rolled_back(request.generated)
         request.resubmit(at)
         _insort_by_arrival(self.waiting, request)
 
@@ -147,7 +158,7 @@ class ContinuousBatchingScheduler:
         ):
             request = self.waiting.pop(0)
             blocks = self.block_manager.allocate(request.request_id, request.context_len)
-            request.state = RequestState.RUNNING
+            request.start_running()
             admitted.append(request)
             if self.tracer is not None:
                 self.tracer.record(
@@ -193,6 +204,9 @@ class ContinuousBatchingScheduler:
         self.running.remove(victim)
         self.mutation_count += 1
         self.block_manager.free(victim.request_id)
+        if self.audit is not None:
+            kept = victim.checkpoint if from_checkpoint else 0
+            self.audit.on_tokens_rolled_back(victim.generated - kept)
         victim.restart(from_checkpoint=from_checkpoint)
         _insort_by_arrival(self.waiting, victim, left=True)
         if self.tracer is not None:

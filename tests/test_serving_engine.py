@@ -35,9 +35,12 @@ class TestServingRun:
         assert report.average_power > 0
         assert report.energy_per_token > 0
 
-    def test_empty_request_list_rejected(self, gaudi):
-        with pytest.raises(ValueError):
-            _engine(gaudi).run([])
+    def test_empty_request_list_yields_empty_report(self, gaudi):
+        report = _engine(gaudi).run([])
+        assert report.num_requests == 0
+        assert report.total_time == 0.0
+        assert report.completion_rate == 0.0
+        assert "no finished requests" in report.render()
 
     def test_later_arrivals_wait(self, gaudi):
         requests = fixed_length_requests(2, 100, 5)
