@@ -21,6 +21,8 @@ from repro.audit.errors import (
     ClockError,
     CollectiveAuditError,
     ConfigError,
+    FleetConservationError,
+    FleetRoutingError,
     JournalError,
     KvConservationError,
     LifecycleError,
@@ -39,6 +41,8 @@ __all__ = [
     "ClockError",
     "CollectiveAuditError",
     "ConfigError",
+    "FleetConservationError",
+    "FleetRoutingError",
     "JournalError",
     "KvConservationError",
     "LifecycleError",

@@ -26,6 +26,8 @@ __all__ = [
     "ClockError",
     "CollectiveAuditError",
     "ConfigError",
+    "FleetConservationError",
+    "FleetRoutingError",
     "JournalError",
     "KvConservationError",
     "LifecycleError",
@@ -106,6 +108,19 @@ class WatchdogExceeded(AuditError):
         super().__init__(message)
         self.steps = steps
         self.wall_seconds = wall_seconds
+
+
+class FleetRoutingError(AuditError):
+    """The gateway dispatched a request to an unroutable node."""
+
+    check = "fleet_routing"
+
+
+class FleetConservationError(AuditError):
+    """Fleet request accounting broke: admitted requests were lost,
+    double-served, or double-counted across failover."""
+
+    check = "fleet_conservation"
 
 
 class JournalError(AuditError):

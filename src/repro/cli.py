@@ -235,6 +235,14 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.core.journal import RunJournal
+
+    header = RunJournal(args.run_dir).load_header() or {}
+    if header.get("tool") == "fleet":
+        from repro.cluster import resume_fleet
+
+        print(resume_fleet(args.run_dir).render())
+        return _print_audit_summary()
     from repro.core.reproduce import resume
 
     result = resume(args.run_dir, workers=args.workers)
@@ -288,6 +296,80 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     fmt = "json" if args.json else args.format
     print(render_report(report, fmt))
     return 0
+
+
+def _parse_nodes_spec(spec: str):
+    """``"4x gaudi2,2x a100"`` -> ``(("gaudi2", 4), ("a100", 2))``."""
+    import re
+
+    pools = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        match = re.fullmatch(r"(\d+)\s*x\s*([A-Za-z0-9_-]+)", part)
+        if match is None:
+            raise SystemExit(
+                f"repro fleet: bad --nodes pool {part!r} "
+                "(expected e.g. '4x gaudi2,2x a100')"
+            )
+        pools.append((match.group(2), int(match.group(1))))
+    if not pools:
+        raise SystemExit("repro fleet: --nodes names no pools")
+    return tuple(pools)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.api import RunContext, render_report
+    from repro.cluster import AutoscalePolicy, FleetConfig, NodeFaultPlan, run_fleet
+    from repro.serving.request import RetryPolicy
+
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscalePolicy(
+            target_p99_ttft=args.slo_ttft,
+            target_p99_tpot=args.slo_tpot,
+            evaluate_interval=args.autoscale_interval,
+            cooldown=args.autoscale_cooldown,
+            min_nodes=args.min_nodes,
+            max_nodes=args.max_nodes,
+            provision_delay=args.provision_delay,
+        )
+    config = FleetConfig(
+        nodes=_parse_nodes_spec(" ".join(args.nodes)),
+        model=args.model,
+        tp=args.tp,
+        max_decode_batch=args.max_batch,
+        num_kv_blocks=args.kv_blocks,
+        num_requests=args.requests,
+        rate=args.rate,
+        diurnal=args.diurnal,
+        diurnal_period=args.diurnal_period,
+        seed=args.seed,
+        policy=args.policy,
+        timeout=args.timeout,
+        retry=RetryPolicy(max_retries=args.max_retries, jitter=args.jitter),
+        hedge_after=args.hedge_after,
+        probe_interval=args.probe_interval,
+        deadline=args.deadline,
+        autoscale=autoscale,
+        plan=NodeFaultPlan.from_spec(args.chaos) if args.chaos else NodeFaultPlan(),
+    )
+    ctx = RunContext.create(seed=args.seed) if args.trace_out else None
+    report = run_fleet(config, journal=args.out, ctx=ctx)
+    if args.trace_out:
+        out = pathlib.Path(args.trace_out)
+        out.write_text(ctx.chrome_trace() + "\n")
+        print(f"chrome trace written to {out}", file=sys.stderr)
+    print(render_report(report, args.format))
+    if args.format == "text":
+        return _print_audit_summary()
+    # Machine-readable formats keep stdout parseable; violations still
+    # drive the exit code (strict mode raises before reaching here).
+    from repro.audit import get_auditor
+
+    auditor = get_auditor()
+    return 1 if auditor is not None and auditor.total_violations else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -510,6 +592,75 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--format", default="text", choices=["text", "json", "csv"])
     _add_audit_flag(chaos)
     chaos.set_defaults(fn=_cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-node fleet simulation with chaos, failover, autoscaling",
+        description=(
+            "Simulate a heterogeneous serving fleet on one virtual clock: "
+            "Gaudi-2/A100 node pools behind a health-checked gateway "
+            "(timeout -> jittered-backoff retry -> failover -> shed, "
+            "optional hedging), node-level chaos, and SLO-driven "
+            "autoscaling. Example: repro fleet --nodes 4x gaudi2,2x a100 "
+            "--chaos 'crash:gaudi2-1@t=2,recover=6' --audit strict"
+        ),
+    )
+    fleet.add_argument("--nodes", nargs="+", default=["2x", "gaudi2"],
+                       metavar="SPEC",
+                       help="pools as 'Nx device' comma-separated, "
+                            "e.g. '4x gaudi2,2x a100'")
+    fleet.add_argument("--model", default="8b", choices=["8b", "70b"])
+    fleet.add_argument("--tp", type=int, default=8,
+                       help="tensor-parallel degree inside each node")
+    fleet.add_argument("--max-batch", type=int, default=32)
+    fleet.add_argument("--kv-blocks", type=int, default=None,
+                       help="constrain each node's KV pool to force shedding")
+    fleet.add_argument("--requests", type=int, default=64)
+    fleet.add_argument("--rate", type=float, default=8.0,
+                       help="offered rate in req/s across the fleet")
+    fleet.add_argument("--diurnal", action="store_true",
+                       help="sinusoidally-modulated arrivals (exercises "
+                            "the autoscaler)")
+    fleet.add_argument("--diurnal-period", type=float, default=60.0)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--policy", default="round-robin",
+                       choices=["round-robin", "least-loaded", "latency-aware"],
+                       help="gateway routing policy")
+    fleet.add_argument("--chaos", default=None, metavar="PLAN",
+                       help="';'-separated node fault events, e.g. "
+                            "'crash:gaudi2-1@t=2,recover=6;"
+                            "brownout:a100-0@t=1,factor=0.5,until=4'")
+    fleet.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt gateway timeout in seconds")
+    fleet.add_argument("--max-retries", type=int, default=3)
+    fleet.add_argument("--jitter", type=float, default=0.5,
+                       help="backoff jitter fraction in [0, 1]")
+    fleet.add_argument("--hedge-after", type=float, default=None,
+                       help="hedge a second attempt after this many "
+                            "quiet seconds")
+    fleet.add_argument("--probe-interval", type=float, default=1.0,
+                       help="gateway health-probe period in seconds")
+    fleet.add_argument("--deadline", type=float, default=None,
+                       help="engine-level TTFT SLO inside each node")
+    fleet.add_argument("--autoscale", action="store_true",
+                       help="enable the SLO-driven autoscaler")
+    fleet.add_argument("--slo-ttft", type=float, default=5.0,
+                       help="autoscaler p99 TTFT target in seconds")
+    fleet.add_argument("--slo-tpot", type=float, default=None,
+                       help="autoscaler p99 TPOT target in seconds")
+    fleet.add_argument("--autoscale-interval", type=float, default=2.0)
+    fleet.add_argument("--autoscale-cooldown", type=float, default=4.0)
+    fleet.add_argument("--min-nodes", type=int, default=1)
+    fleet.add_argument("--max-nodes", type=int, default=8)
+    fleet.add_argument("--provision-delay", type=float, default=1.0)
+    fleet.add_argument("--out", default=None,
+                       help="run directory: journal the run for "
+                            "`repro resume`")
+    fleet.add_argument("--trace-out", default=None,
+                       help="write a chrome://tracing JSON of the fleet run")
+    fleet.add_argument("--format", default="text", choices=["text", "json", "csv"])
+    _add_audit_flag(fleet)
+    fleet.set_defaults(fn=_cmd_fleet)
 
     bench = sub.add_parser(
         "bench",

@@ -1,0 +1,37 @@
+"""Fleet-level resilience: multi-node cluster simulation.
+
+This package scales the single-engine serving simulator up to a
+*fleet*: heterogeneous Gaudi-2 / A100 node pools on one shared virtual
+clock, a health-checked gateway routing across them (with timeouts,
+jittered-backoff retries, failover, and optional hedging), node-level
+chaos (crashes, brownouts, fabric degradation, blips), and SLO-driven
+autoscaling.  Entry point: :func:`run_fleet` over a
+:class:`FleetConfig`; the ``repro fleet`` CLI verb wraps it.
+"""
+
+from repro.cluster.autoscaler import AutoscalePolicy, Autoscaler
+from repro.cluster.faults import NodeFaultEvent, NodeFaultKind, NodeFaultPlan
+from repro.cluster.fleet import FleetConfig, resume_fleet, run_fleet
+from repro.cluster.gateway import ROUTING_POLICIES, FleetRequest, Gateway, GatewayStats
+from repro.cluster.node import Node, NodeClass, NodeState
+from repro.cluster.report import FleetResilienceReport, NodeReport
+
+__all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
+    "FleetConfig",
+    "FleetRequest",
+    "FleetResilienceReport",
+    "Gateway",
+    "GatewayStats",
+    "Node",
+    "NodeClass",
+    "NodeFaultEvent",
+    "NodeFaultKind",
+    "NodeFaultPlan",
+    "NodeReport",
+    "NodeState",
+    "ROUTING_POLICIES",
+    "resume_fleet",
+    "run_fleet",
+]

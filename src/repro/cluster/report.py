@@ -1,0 +1,321 @@
+"""Fleet-level resilience reporting.
+
+A :class:`FleetResilienceReport` partitions the run at two levels that
+must never be conflated: the *fleet* ledger counts client-visible
+requests (admitted = finished + shed + unfinished), while the
+*attempt* ledger counts per-node engine requests (a single fleet
+request that failed over twice contributed three attempts).  Shed
+reasons are likewise split by scope -- gateway-decided
+(``gateway-``-prefixed) vs engine-decided -- via
+:func:`repro.faults.report.shed_reason_counts`, so fleet and node
+reports never double-count a rejection.
+
+``to_payload`` is the journal encoding: exact (unrounded) floats, so a
+resumed run rebuilds the report byte-identically.  ``to_dict`` is the
+display encoding (rounded), and ``render`` is fixed-format -- the same
+seed and config always produce the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["FleetResilienceReport", "NodeReport"]
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """One node's contribution to a fleet run."""
+
+    name: str
+    node_class: str
+    device: str
+    final_state: str
+    crashes: int
+    attempts: int           # attempts routed to this node
+    finished: int           # attempts served to completion here
+    shed_engine: int        # engine-decided sheds (KV, deadline, ...)
+    shed_gateway: int       # gateway cancellations (timeout, lost hedge)
+    failed: int             # attempts failed (node crash)
+    engine_steps: int
+    total_output_tokens: int
+    mean_ttft: float
+    clock: float            # node engine's final virtual time
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "node_class": self.node_class,
+            "device": self.device,
+            "final_state": self.final_state,
+            "crashes": self.crashes,
+            "attempts": self.attempts,
+            "finished": self.finished,
+            "shed_engine": self.shed_engine,
+            "shed_gateway": self.shed_gateway,
+            "failed": self.failed,
+            "engine_steps": self.engine_steps,
+            "total_output_tokens": self.total_output_tokens,
+            "mean_ttft": self.mean_ttft,
+            "clock": self.clock,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, object]) -> "NodeReport":
+        return cls(
+            name=str(data["name"]),
+            node_class=str(data["node_class"]),
+            device=str(data["device"]),
+            final_state=str(data["final_state"]),
+            crashes=int(data["crashes"]),
+            attempts=int(data["attempts"]),
+            finished=int(data["finished"]),
+            shed_engine=int(data["shed_engine"]),
+            shed_gateway=int(data["shed_gateway"]),
+            failed=int(data["failed"]),
+            engine_steps=int(data["engine_steps"]),
+            total_output_tokens=int(data["total_output_tokens"]),
+            mean_ttft=float(data["mean_ttft"]),
+            clock=float(data["clock"]),
+        )
+
+
+@dataclass(frozen=True)
+class FleetResilienceReport:
+    """Aggregate outcome of one multi-node fleet run."""
+
+    # -- configuration echo --------------------------------------------
+    nodes_spec: str
+    policy: str
+    seed: int
+    # -- fleet request ledger (client-visible) -------------------------
+    admitted: int
+    finished: int
+    shed: int
+    unfinished: int
+    # -- attempt ledger (per-node engine requests) ---------------------
+    attempts: int
+    attempt_finished: int
+    attempt_shed_engine: int
+    attempt_shed_gateway: int
+    attempt_failed: int
+    # -- gateway pipeline ----------------------------------------------
+    retries: int
+    failovers: int
+    timeouts: int
+    hedges: int
+    hedge_wasted: int
+    probes: int
+    # -- chaos / autoscale ---------------------------------------------
+    node_crashes: int
+    scale_ups: int
+    scale_downs: int
+    # -- service quality -----------------------------------------------
+    total_time: float
+    total_output_tokens: int
+    throughput_tokens_per_s: float
+    mean_ttft: float
+    p99_ttft: float
+    mean_tpot: float
+    p99_tpot: float
+    shed_reasons_gateway: Tuple[Tuple[str, int], ...] = ()
+    shed_reasons_engine: Tuple[Tuple[str, int], ...] = ()
+    node_reports: Tuple[NodeReport, ...] = ()
+    fault_log: Tuple[str, ...] = field(default=(), repr=False)
+    autoscale_log: Tuple[str, ...] = field(default=(), repr=False)
+    watchdog_reason: str = ""
+
+    @property
+    def watchdog_tripped(self) -> bool:
+        return bool(self.watchdog_reason)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.finished / self.admitted if self.admitted else 0.0
+
+    # -- journal encoding (exact) --------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """Exact (unrounded) payload; round-trips bit-identically
+        through :meth:`from_payload` -- the fleet-journal contract."""
+        return {
+            "nodes_spec": self.nodes_spec,
+            "policy": self.policy,
+            "seed": self.seed,
+            "admitted": self.admitted,
+            "finished": self.finished,
+            "shed": self.shed,
+            "unfinished": self.unfinished,
+            "attempts": self.attempts,
+            "attempt_finished": self.attempt_finished,
+            "attempt_shed_engine": self.attempt_shed_engine,
+            "attempt_shed_gateway": self.attempt_shed_gateway,
+            "attempt_failed": self.attempt_failed,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "timeouts": self.timeouts,
+            "hedges": self.hedges,
+            "hedge_wasted": self.hedge_wasted,
+            "probes": self.probes,
+            "node_crashes": self.node_crashes,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "total_time": self.total_time,
+            "total_output_tokens": self.total_output_tokens,
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+            "mean_ttft": self.mean_ttft,
+            "p99_ttft": self.p99_ttft,
+            "mean_tpot": self.mean_tpot,
+            "p99_tpot": self.p99_tpot,
+            "shed_reasons_gateway": [list(item) for item in self.shed_reasons_gateway],
+            "shed_reasons_engine": [list(item) for item in self.shed_reasons_engine],
+            "node_reports": [node.to_payload() for node in self.node_reports],
+            "fault_log": list(self.fault_log),
+            "autoscale_log": list(self.autoscale_log),
+            "watchdog_reason": self.watchdog_reason,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, object]) -> "FleetResilienceReport":
+        return cls(
+            nodes_spec=str(data["nodes_spec"]),
+            policy=str(data["policy"]),
+            seed=int(data["seed"]),
+            admitted=int(data["admitted"]),
+            finished=int(data["finished"]),
+            shed=int(data["shed"]),
+            unfinished=int(data["unfinished"]),
+            attempts=int(data["attempts"]),
+            attempt_finished=int(data["attempt_finished"]),
+            attempt_shed_engine=int(data["attempt_shed_engine"]),
+            attempt_shed_gateway=int(data["attempt_shed_gateway"]),
+            attempt_failed=int(data["attempt_failed"]),
+            retries=int(data["retries"]),
+            failovers=int(data["failovers"]),
+            timeouts=int(data["timeouts"]),
+            hedges=int(data["hedges"]),
+            hedge_wasted=int(data["hedge_wasted"]),
+            probes=int(data["probes"]),
+            node_crashes=int(data["node_crashes"]),
+            scale_ups=int(data["scale_ups"]),
+            scale_downs=int(data["scale_downs"]),
+            total_time=float(data["total_time"]),
+            total_output_tokens=int(data["total_output_tokens"]),
+            throughput_tokens_per_s=float(data["throughput_tokens_per_s"]),
+            mean_ttft=float(data["mean_ttft"]),
+            p99_ttft=float(data["p99_ttft"]),
+            mean_tpot=float(data["mean_tpot"]),
+            p99_tpot=float(data["p99_tpot"]),
+            shed_reasons_gateway=tuple(
+                (str(reason), int(count))
+                for reason, count in data.get("shed_reasons_gateway", [])
+            ),
+            shed_reasons_engine=tuple(
+                (str(reason), int(count))
+                for reason, count in data.get("shed_reasons_engine", [])
+            ),
+            node_reports=tuple(
+                NodeReport.from_payload(node) for node in data.get("node_reports", [])
+            ),
+            fault_log=tuple(str(entry) for entry in data.get("fault_log", [])),
+            autoscale_log=tuple(str(entry) for entry in data.get("autoscale_log", [])),
+            watchdog_reason=str(data.get("watchdog_reason", "")),
+        )
+
+    # -- Report protocol (display encodings) ---------------------------
+    def to_dict(self) -> Dict[str, object]:
+        payload = self.to_payload()
+        for key in ("total_time", "mean_ttft", "p99_ttft"):
+            payload[key] = round(float(payload[key]), 9)
+        for key in ("mean_tpot", "p99_tpot"):
+            payload[key] = round(float(payload[key]), 9)
+        payload["throughput_tokens_per_s"] = round(self.throughput_tokens_per_s, 6)
+        payload["completion_rate"] = round(self.completion_rate, 6)
+        payload["shed_reasons_gateway"] = dict(self.shed_reasons_gateway)
+        payload["shed_reasons_engine"] = dict(self.shed_reasons_engine)
+        for node in payload["node_reports"]:
+            node["mean_ttft"] = round(float(node["mean_ttft"]), 9)
+            node["clock"] = round(float(node["clock"]), 9)
+        return payload
+
+    def to_json(self) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """The report as one CSV row (nested fields JSON-encoded)."""
+        from repro.api.report import rows_to_csv
+
+        row = self.to_dict()
+        for key in (
+            "shed_reasons_gateway", "shed_reasons_engine", "node_reports",
+            "fault_log", "autoscale_log",
+        ):
+            row[key] = json.dumps(row[key], sort_keys=True)
+        return rows_to_csv([row])
+
+    def render(self) -> str:
+        """Fixed-format text report (byte-identical per seed)."""
+        lines: List[str] = []
+        lines.append(
+            f"Fleet resilience report: {self.nodes_spec} "
+            f"(policy={self.policy}, seed={self.seed})"
+        )
+        lines.append(
+            f"  requests   : {self.admitted} admitted | "
+            f"{self.finished} finished | {self.shed} shed | "
+            f"{self.unfinished} unfinished"
+        )
+        lines.append(
+            f"  attempts   : {self.attempts} dispatched | "
+            f"{self.attempt_finished} finished | "
+            f"{self.attempt_shed_engine} shed by engines | "
+            f"{self.attempt_shed_gateway} cancelled by gateway | "
+            f"{self.attempt_failed} failed"
+        )
+        lines.append(
+            f"  pipeline   : {self.retries} retries | {self.failovers} failovers | "
+            f"{self.timeouts} timeouts | {self.hedges} hedges "
+            f"({self.hedge_wasted} wasted) | {self.probes} probes"
+        )
+        lines.append(
+            f"  chaos      : {self.node_crashes} node crashes | "
+            f"{self.scale_ups} scale-ups | {self.scale_downs} scale-downs"
+        )
+        if self.finished > 0:
+            lines.append(
+                f"  latency    : mean TTFT {self.mean_ttft:.4f} s | "
+                f"p99 TTFT {self.p99_ttft:.4f} s | "
+                f"mean TPOT {self.mean_tpot * 1e3:.3f} ms | "
+                f"p99 TPOT {self.p99_tpot * 1e3:.3f} ms"
+            )
+        else:
+            lines.append("  latency    : no finished requests")
+        lines.append(
+            f"  throughput : {self.throughput_tokens_per_s:.2f} tokens/s over "
+            f"{self.total_time:.4f} s ({self.total_output_tokens} tokens)"
+        )
+        if self.shed_reasons_gateway:
+            lines.append("  shed (gw)  : " + "; ".join(
+                f"{count}x {reason}" for reason, count in self.shed_reasons_gateway
+            ))
+        if self.shed_reasons_engine:
+            lines.append("  shed (eng) : " + "; ".join(
+                f"{count}x {reason}" for reason, count in self.shed_reasons_engine
+            ))
+        for node in self.node_reports:
+            lines.append(
+                f"  node       : {node.name} [{node.device}] {node.final_state} | "
+                f"{node.attempts} attempts | {node.finished} finished | "
+                f"{node.shed_engine}+{node.shed_gateway} shed | "
+                f"{node.failed} failed | {node.crashes} crashes | "
+                f"{node.engine_steps} steps"
+            )
+        for entry in self.fault_log:
+            lines.append(f"  event      : {entry}")
+        for entry in self.autoscale_log:
+            lines.append(f"  autoscale  : {entry}")
+        if self.watchdog_reason:
+            lines.append(f"  watchdog   : PARTIAL RESULT ({self.watchdog_reason})")
+        return "\n".join(lines)

@@ -18,8 +18,8 @@ the plan, summarized as a byte-identical-per-seed
 from repro.faults.events import FaultEvent, FaultKind
 from repro.faults.injector import AdvanceSummary, FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.faults.report import ResilienceReport
-from repro.faults.chaos import ChaosConfig, run_chaos
+from repro.faults.report import GATEWAY_SHED_PREFIX, ResilienceReport, shed_reason_counts
+from repro.faults.chaos import ChaosConfig, build_degraded_collectives, run_chaos
 
 __all__ = [
     "AdvanceSummary",
@@ -28,6 +28,9 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
+    "GATEWAY_SHED_PREFIX",
     "ResilienceReport",
+    "build_degraded_collectives",
     "run_chaos",
+    "shed_reason_counts",
 ]

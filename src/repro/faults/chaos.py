@@ -29,7 +29,7 @@ from repro.comm.topology import (
 from repro.core.metrics import percentile
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.faults.report import ResilienceReport
+from repro.faults.report import ResilienceReport, shed_reason_counts
 from repro.hw.device import get_device
 from repro.models.llama import (
     LLAMA_3_1_70B,
@@ -101,29 +101,41 @@ class ChaosConfig:
             )
 
 
-def _build_collectives(config: ChaosConfig, health: FabricHealth):
-    """(tp_config, healthy_library, degraded_library) for the run."""
-    if config.tp == 1:
+def build_degraded_collectives(device: str, tp: int, health: FabricHealth):
+    """(tp_config, healthy_library, degraded_library) for one box.
+
+    The degraded library prices every collective through a topology
+    view of ``health``, so mutating the shared ``health`` mid-run
+    (device deaths, link slowdowns) re-prices AllReduce on the Figure
+    10 port-count cliff.  Shared by the single-box chaos harness and
+    each cluster :class:`~repro.cluster.Node`.
+    """
+    if tp == 1:
         return TensorParallelConfig(degree=1), None, None
-    num_devices = max(8, config.tp)
-    if config.device == "gaudi2":
+    num_devices = max(8, tp)
+    if device == "gaudi2":
         healthy = HcclLibrary(P2PMeshTopology(num_devices=num_devices))
         degraded_topology = DegradedMeshTopology(healthy.topology, health)
     else:
         healthy = NcclLibrary(SwitchTopology(num_devices=num_devices))
         degraded_topology = DegradedSwitchTopology(healthy.topology, health)
     degraded = healthy.with_topology(degraded_topology)
-    tp_config = TensorParallelConfig(degree=config.tp, library=degraded)
+    tp_config = TensorParallelConfig(degree=tp, library=degraded)
     return tp_config, healthy, degraded
 
 
+def _build_collectives(config: ChaosConfig, health: FabricHealth):
+    """(tp_config, healthy_library, degraded_library) for the run."""
+    return build_degraded_collectives(config.device, config.tp, health)
+
+
 def _shed_reason_counts(requests: List[Request]) -> Counter:
-    """Shed/fail reasons aggregated by their leading category."""
-    counts: Counter = Counter()
-    for request in requests:
-        if request.shed_reason is not None:
-            counts[request.shed_reason.split(":", 1)[0]] += 1
-    return counts
+    """Shed/fail reasons aggregated by their leading category.
+
+    Kept as a thin alias of the public
+    :func:`repro.faults.report.shed_reason_counts` (scope=None).
+    """
+    return shed_reason_counts(requests)
 
 
 @positional_shim("config")

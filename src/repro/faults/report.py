@@ -10,8 +10,44 @@ so the same seed produces a byte-identical report.
 from __future__ import annotations
 
 import json
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Shed-reason categories beginning with this prefix were decided by a
+#: cluster gateway (routing/timeout/failover), not by a node's engine.
+GATEWAY_SHED_PREFIX = "gateway-"
+
+
+def shed_reason_counts(
+    requests: Iterable, scope: Optional[str] = None
+) -> Counter:
+    """Shed/fail reasons aggregated by their leading category.
+
+    ``scope`` partitions the ledger so fleet-level and node-level
+    reports never double-count the same rejection:
+
+    * ``None`` -- every reason (the single-box chaos harness).
+    * ``"gateway"`` -- only categories carrying the
+      :data:`GATEWAY_SHED_PREFIX` (sheds decided by the routing layer).
+    * ``"engine"`` -- only categories without it (sheds decided inside
+      a serving engine: KV exhaustion, deadlines, outages).
+    """
+    if scope not in (None, "gateway", "engine"):
+        raise ValueError(f"scope must be None, 'gateway', or 'engine', got {scope!r}")
+    counts: Counter = Counter()
+    for request in requests:
+        reason = getattr(request, "shed_reason", None)
+        if reason is None:
+            continue
+        category = reason.split(":", 1)[0]
+        is_gateway = category.startswith(GATEWAY_SHED_PREFIX)
+        if scope == "gateway" and not is_gateway:
+            continue
+        if scope == "engine" and is_gateway:
+            continue
+        counts[category] += 1
+    return counts
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ wasted step rather than the run.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -269,6 +270,15 @@ class LlmServingEngine:
         self._tracer = None
         self._metrics = None
         self._traced_request_ids: set = set()
+        # Streaming-run state (see begin/feed/advance/finish).
+        self._audit = None
+        self._now = 0.0
+        self._steps = 0
+        self._preemptions = 0
+        self._activity: Optional[ActivityAccumulator] = None
+        self._batch_stats: Optional[DecodeBatchStats] = None
+        self._batch_version = -1
+        self._all_requests: List[Request] = []
         if ctx is not None:
             self.bind_context(ctx)
 
@@ -371,7 +381,247 @@ class LlmServingEngine:
     def _graceful(self) -> bool:
         return self.policy is not None and self.policy.shed_on_exhaustion
 
-    # ------------------------------------------------------------------
+    # -- streaming run API ---------------------------------------------
+    # ``run()`` packages the canonical one-shot flow; the four-phase
+    # API below (begin / feed / advance / finish) lets an external
+    # event loop -- a cluster Node on the shared fleet clock -- embed
+    # the engine, feeding requests as a gateway routes them and
+    # advancing the simulation in bounded horizons.
+
+    def begin(self, requests: Sequence[Request] = ()) -> None:
+        """Open a run: arm the audit ledger and watchdog, start the
+        root span, and submit any up-front ``requests``."""
+        self._audit = self.auditor.begin_run("serving.run") if self.auditor else None
+        self.scheduler.bind_audit(self._audit)
+        if self._audit is not None:
+            self._audit.set_token_baseline(sum(r.generated for r in requests))
+        if self.watchdog is not None:
+            self.watchdog.start()
+        self._now = 0.0
+        self._steps = 0
+        self._preemptions = 0
+        self._activity = ActivityAccumulator()
+        # Incremental decode-batch statistics: valid while the running
+        # batch's membership is unchanged (scheduler.mutation_count) and
+        # every runner grew by exactly one token since they were built.
+        self._batch_stats: Optional[DecodeBatchStats] = None
+        self._batch_version = -1
+        self._all_requests: List[Request] = []
+        if self._tracer is not None:
+            self._tracer.begin(
+                "serving.run", "engine", self._now,
+                device=self.model.device.name,
+                attention=self.attention.value,
+                requests=len(requests),
+            )
+        for request in requests:
+            self.feed(request)
+
+    def feed(self, request: Request) -> None:
+        """Submit one request to an open run (streaming admission)."""
+        if self.policy and self.policy.deadline is not None and request.deadline is None:
+            request.deadline = self.policy.deadline
+        if self._audit is not None and request.generated:
+            # Late-fed requests extend the conservation baseline.
+            self._audit.set_token_baseline(
+                self._audit._token_baseline + request.generated
+            )
+        self._all_requests.append(request)
+        self._submit(request)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of the open run."""
+        return self._now
+
+    @property
+    def requests(self) -> List[Request]:
+        """Every request fed to the current run, in feed order."""
+        return list(self._all_requests)
+
+    @property
+    def has_unfinished(self) -> bool:
+        return self.scheduler.has_unfinished
+
+    def advance(self, horizon: float = math.inf) -> float:
+        """Drive the step loop while work remains and steps start at or
+        before ``horizon``; returns the clock.
+
+        A step that *starts* within the horizon executes to completion
+        (the batch-synchronous clock cannot split an iteration), so the
+        returned time may overrun ``horizon`` -- callers observe
+        completions at the next advance, exactly like polling a real
+        engine between scheduler ticks.  Raises
+        :class:`~repro.audit.WatchdogExceeded` when the armed watchdog
+        budget is exhausted (``run()`` converts that into a typed
+        partial report).
+        """
+        audit = self._audit
+        watchdog = self.watchdog
+        tracer = self._tracer
+        observing = tracer is not None or self._metrics is not None
+        while self.scheduler.has_unfinished:
+            if self._now > horizon:
+                break
+            if watchdog is not None:
+                watchdog.check(self._steps)
+            now = self._advance_faults(self._now)
+            if audit is not None:
+                audit.observe_clock(now)
+            self._enforce_deadlines(now)
+            schedule = self.scheduler.step(now)
+            if not schedule.has_work:
+                self._now = now
+                if not self.scheduler.waiting:
+                    break  # everything retired in this step
+                head = self.scheduler.waiting[0]  # arrival-sorted queue
+                if head.arrival_time <= now:
+                    # Nothing runs, nothing admits, and the head request
+                    # has already arrived: the pool can never serve it.
+                    reason = (
+                        f"kv-exhausted: {head.context_len} prompt tokens exceed "
+                        "the free KV pool with no running request to retire"
+                    )
+                    if self._graceful:
+                        self.scheduler.shed(head, reason)
+                        continue
+                    raise KvCacheError(
+                        f"request {head.request_id} cannot be admitted: {reason}"
+                    )
+                if head.arrival_time > horizon:
+                    break  # idle until past the horizon; do not jump it
+                # All remaining requests arrive later; jump the clock.
+                self._now = max(now, head.arrival_time)
+                continue
+            slowdown = self._slowdown()
+            step_start = now
+            step_span = None
+            step_activity = None
+            if observing:
+                step_activity = ActivityAccumulator()
+            if tracer is not None:
+                step_span = tracer.begin(
+                    "engine.step", "engine", now,
+                    step=self._steps, admitted=len(schedule.new_requests),
+                )
+            for request in schedule.new_requests:
+                # vLLM prefills prompts individually (no padding waste).
+                # A fault-restarted request recomputes its checkpointed
+                # tokens too, hence context_len rather than input_tokens.
+                prefill_span = None
+                if tracer is not None:
+                    self._trace_request_begin(request, now)
+                    prefill_span = tracer.begin(
+                        "prefill", "engine", now,
+                        request_id=request.request_id,
+                        prompt_tokens=request.context_len,
+                    )
+                phase = self.model.prefill(1, request.context_len)
+                now += phase.time * slowdown
+                self._activity.merge(phase.activity)
+                if step_activity is not None:
+                    step_activity.merge(phase.activity)
+                    self._emit_comm_spans(now)
+                if prefill_span is not None:
+                    tracer.end(prefill_span, now)
+                request.record_token(now)
+                if audit is not None:
+                    audit.on_tokens_emitted()
+                self._maybe_checkpoint(request)
+            running = [r for r in schedule.running if r.state is RequestState.RUNNING]
+            if not running:
+                self._steps += 1
+                self._now = now
+                if observing:
+                    self._finish_step(step_span, step_start, now, step_activity, 0)
+                continue
+            self._preemptions += self._ensure_headroom(running)
+            running = [r for r in running if r.state is RequestState.RUNNING]
+            if not running:
+                self._steps += 1
+                self._now = now
+                if observing:
+                    self._finish_step(step_span, step_start, now, step_activity, 0)
+                continue
+            decode_span = None
+            if tracer is not None:
+                decode_span = tracer.begin(
+                    "decode.step", "engine", now, batch=len(running)
+                )
+            version = self.scheduler.mutation_count
+            if (
+                self._batch_stats is None
+                or self._batch_version != version
+                or self._batch_stats.batch != len(running)
+            ):
+                self._batch_stats = DecodeBatchStats.from_context_lens(
+                    [r.context_len for r in running]
+                )
+                self._batch_version = version
+            phase = self.model.decode_step_stats(self._batch_stats, self.attention)
+            now += phase.time * slowdown
+            self._activity.merge(phase.activity)
+            if step_activity is not None:
+                step_activity.merge(phase.activity)
+                self._emit_comm_spans(now)
+            if decode_span is not None:
+                tracer.end(decode_span, now)
+            self._steps += 1
+            self._now = now
+            if self.injector is not None and self.injector.kernel_fault():
+                # Transient kernel failure: the step's output is lost
+                # and recomputed next iteration; the time still passed.
+                # No runner grew, so batch_stats stays valid as-is.
+                self.fault_stats.kernel_retries += 1
+                if tracer is not None:
+                    tracer.instant("kernel_fault", "engine", now)
+                if self._metrics is not None:
+                    self._metrics.counter("engine.kernel_retries").inc()
+                if observing:
+                    self._finish_step(step_span, step_start, now, step_activity, len(running))
+                continue
+            grew_all = True
+            for request in running:
+                if not self._grow_kv(request):
+                    grew_all = False
+                    continue
+                request.record_token(now)
+                if audit is not None:
+                    audit.on_tokens_emitted()
+                self._maybe_checkpoint(request)
+            if grew_all and self.scheduler.mutation_count == self._batch_version:
+                # Every runner gained exactly one token: advance the
+                # batch statistics in O(1) instead of rebuilding.
+                self._batch_stats = self._batch_stats.advanced()
+            else:
+                self._batch_stats = None
+            if observing:
+                self._finish_step(step_span, step_start, now, step_activity, len(running))
+        return self._now
+
+    def finish(self, watchdog_reason: str = "") -> ServingReport:
+        """Close the run: end the root span, unbind the audit handle,
+        and return the aggregate report over every fed request."""
+        if self._tracer is not None:
+            self._tracer.finish(self._now)
+        audit = self._audit
+        self._audit = None
+        self.scheduler.bind_audit(None)
+        requests = self._all_requests
+        report = self._build_report(
+            requests, self._now, self._steps, self._preemptions,
+            self._activity, watchdog_reason,
+        )
+        if audit is not None:
+            audit.observe_clock(self._now)
+            audit.check_kv_drained(self.block_manager)
+            audit.check_token_conservation(sum(r.generated for r in requests))
+            audit.check_report(
+                report,
+                [r.ttft for r in requests if r.state is RequestState.FINISHED],
+            )
+        return report
+
     def run(self, requests: Sequence[Request]) -> ServingReport:
         """Serve ``requests``; returns aggregate metrics.
 
@@ -383,192 +633,28 @@ class LlmServingEngine:
         stops the run and returns a partial report carrying the typed
         ``watchdog_reason``.
         """
-        audit = self.auditor.begin_run("serving.run") if self.auditor else None
-        self.scheduler.bind_audit(audit)
-        if audit is not None:
-            audit.set_token_baseline(sum(r.generated for r in requests))
-        watchdog = self.watchdog
-        if watchdog is not None:
-            watchdog.start()
+        self.begin(requests)
         watchdog_reason = ""
-        for request in requests:
-            if self.policy and self.policy.deadline is not None and request.deadline is None:
-                request.deadline = self.policy.deadline
-            self._submit(request)
-
-        now = 0.0
-        steps = 0
-        preemptions = 0
-        activity = ActivityAccumulator()
-        tracer = self._tracer
-        observing = tracer is not None or self._metrics is not None
-        # Incremental decode-batch statistics: valid while the running
-        # batch's membership is unchanged (scheduler.mutation_count) and
-        # every runner grew by exactly one token since they were built.
-        batch_stats: Optional[DecodeBatchStats] = None
-        batch_version = -1
-        if tracer is not None:
-            tracer.begin(
-                "serving.run", "engine", now,
-                device=self.model.device.name,
-                attention=self.attention.value,
-                requests=len(requests),
-            )
         try:
-            while self.scheduler.has_unfinished:
-                if watchdog is not None:
-                    watchdog.check(steps)
-                now = self._advance_faults(now)
-                if audit is not None:
-                    audit.observe_clock(now)
-                self._enforce_deadlines(now)
-                schedule = self.scheduler.step(now)
-                if not schedule.has_work:
-                    if not self.scheduler.waiting:
-                        break  # everything retired in this step
-                    head = self.scheduler.waiting[0]  # arrival-sorted queue
-                    if head.arrival_time <= now:
-                        # Nothing runs, nothing admits, and the head request
-                        # has already arrived: the pool can never serve it.
-                        reason = (
-                            f"kv-exhausted: {head.context_len} prompt tokens exceed "
-                            "the free KV pool with no running request to retire"
-                        )
-                        if self._graceful:
-                            self.scheduler.shed(head, reason)
-                            continue
-                        raise KvCacheError(
-                            f"request {head.request_id} cannot be admitted: {reason}"
-                        )
-                    # All remaining requests arrive later; jump the clock.
-                    now = max(now, head.arrival_time)
-                    continue
-                slowdown = self._slowdown()
-                step_start = now
-                step_span = None
-                step_activity = None
-                if observing:
-                    step_activity = ActivityAccumulator()
-                if tracer is not None:
-                    step_span = tracer.begin(
-                        "engine.step", "engine", now,
-                        step=steps, admitted=len(schedule.new_requests),
-                    )
-                for request in schedule.new_requests:
-                    # vLLM prefills prompts individually (no padding waste).
-                    # A fault-restarted request recomputes its checkpointed
-                    # tokens too, hence context_len rather than input_tokens.
-                    prefill_span = None
-                    if tracer is not None:
-                        self._trace_request_begin(request, now)
-                        prefill_span = tracer.begin(
-                            "prefill", "engine", now,
-                            request_id=request.request_id,
-                            prompt_tokens=request.context_len,
-                        )
-                    phase = self.model.prefill(1, request.context_len)
-                    now += phase.time * slowdown
-                    activity.merge(phase.activity)
-                    if step_activity is not None:
-                        step_activity.merge(phase.activity)
-                        self._emit_comm_spans(now)
-                    if prefill_span is not None:
-                        tracer.end(prefill_span, now)
-                    request.record_token(now)
-                    if audit is not None:
-                        audit.on_tokens_emitted()
-                    self._maybe_checkpoint(request)
-                running = [r for r in schedule.running if r.state is RequestState.RUNNING]
-                if not running:
-                    steps += 1
-                    if observing:
-                        self._finish_step(step_span, step_start, now, step_activity, 0)
-                    continue
-                preemptions += self._ensure_headroom(running)
-                running = [r for r in running if r.state is RequestState.RUNNING]
-                if not running:
-                    steps += 1
-                    if observing:
-                        self._finish_step(step_span, step_start, now, step_activity, 0)
-                    continue
-                decode_span = None
-                if tracer is not None:
-                    decode_span = tracer.begin(
-                        "decode.step", "engine", now, batch=len(running)
-                    )
-                version = self.scheduler.mutation_count
-                if (
-                    batch_stats is None
-                    or batch_version != version
-                    or batch_stats.batch != len(running)
-                ):
-                    batch_stats = DecodeBatchStats.from_context_lens(
-                        [r.context_len for r in running]
-                    )
-                    batch_version = version
-                phase = self.model.decode_step_stats(batch_stats, self.attention)
-                now += phase.time * slowdown
-                activity.merge(phase.activity)
-                if step_activity is not None:
-                    step_activity.merge(phase.activity)
-                    self._emit_comm_spans(now)
-                if decode_span is not None:
-                    tracer.end(decode_span, now)
-                steps += 1
-                if self.injector is not None and self.injector.kernel_fault():
-                    # Transient kernel failure: the step's output is lost
-                    # and recomputed next iteration; the time still passed.
-                    # No runner grew, so batch_stats stays valid as-is.
-                    self.fault_stats.kernel_retries += 1
-                    if tracer is not None:
-                        tracer.instant("kernel_fault", "engine", now)
-                    if self._metrics is not None:
-                        self._metrics.counter("engine.kernel_retries").inc()
-                    if observing:
-                        self._finish_step(step_span, step_start, now, step_activity, len(running))
-                    continue
-                grew_all = True
-                for request in running:
-                    if not self._grow_kv(request):
-                        grew_all = False
-                        continue
-                    request.record_token(now)
-                    if audit is not None:
-                        audit.on_tokens_emitted()
-                    self._maybe_checkpoint(request)
-                if grew_all and self.scheduler.mutation_count == batch_version:
-                    # Every runner gained exactly one token: advance the
-                    # batch statistics in O(1) instead of rebuilding.
-                    batch_stats = batch_stats.advanced()
-                else:
-                    batch_stats = None
-                if observing:
-                    self._finish_step(step_span, step_start, now, step_activity, len(running))
+            self.advance()
         except WatchdogExceeded as error:
             # A wedged simulation becomes a typed partial result: release
             # every held block and report what completed so far.
             watchdog_reason = str(error)
             self.block_manager.free_all()
-            if tracer is not None:
-                tracer.instant("watchdog_exceeded", "engine", now)
+            if self._tracer is not None:
+                self._tracer.instant("watchdog_exceeded", "engine", self._now)
             if self._metrics is not None:
                 self._metrics.counter("engine.watchdog_trips").inc()
-        finally:
-            if tracer is not None:
-                tracer.finish(now)
+        except BaseException:
+            # Fail-fast paths (e.g. KvCacheError without a policy) must
+            # still close the root span and unbind the audit handle.
+            if self._tracer is not None:
+                self._tracer.finish(self._now)
+            self._audit = None
             self.scheduler.bind_audit(None)
-        report = self._build_report(
-            requests, now, steps, preemptions, activity, watchdog_reason
-        )
-        if audit is not None:
-            audit.observe_clock(now)
-            audit.check_kv_drained(self.block_manager)
-            audit.check_token_conservation(sum(r.generated for r in requests))
-            audit.check_report(
-                report,
-                [r.ttft for r in requests if r.state is RequestState.FINISHED],
-            )
-        return report
+            raise
+        return self.finish(watchdog_reason)
 
     # ------------------------------------------------------------------
     def _submit(self, request: Request) -> None:
@@ -620,8 +706,12 @@ class LlmServingEngine:
                 )
         if summary.device_failures:
             # A device fault kills the in-flight batch: preempt every
-            # runner into checkpointed recompute.
+            # runner into checkpointed recompute.  A request that
+            # FINISHED in the last step was already served; leave it for
+            # retirement instead of restarting (double-serving) it.
             for victim in list(self.scheduler.running):
+                if victim.state is RequestState.FINISHED:
+                    continue
                 self.scheduler.preempt(victim, from_checkpoint=True)
                 self.fault_stats.fault_preemptions += 1
                 self._fault_restarted_ids.add(victim.request_id)
@@ -633,7 +723,9 @@ class LlmServingEngine:
             if not request.deadline_missed(now):
                 continue
             if request.retries < self.policy.retry.max_retries:
-                delay = self.policy.retry.backoff(request.retries)
+                delay = self.policy.retry.backoff(
+                    request.retries, token=request.request_id
+                )
                 self.scheduler.requeue(request, now + delay)
                 self.fault_stats.deadline_retries += 1
                 if self._tracer is not None:

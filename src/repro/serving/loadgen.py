@@ -25,6 +25,7 @@ __all__ = [
     "LoadTestReport",
     "ResilientLoadReport",
     "RetryPolicy",
+    "diurnal_arrivals",
     "max_sustainable_rate",
     "poisson_arrivals",
     "run_load_sweep",
@@ -96,6 +97,42 @@ def poisson_arrivals(
     clock = 0.0
     for request, gap in zip(requests, gaps):
         clock += float(gap)
+        request.arrival_time = clock
+    return list(requests)
+
+
+def diurnal_arrivals(
+    requests: Sequence[Request],
+    rate: float,
+    period: float = 60.0,
+    amplitude: float = 0.8,
+    seed: int = 0,
+) -> List[Request]:
+    """Assign sinusoidally-modulated Poisson arrival times, in place.
+
+    A non-homogeneous Poisson process with instantaneous rate
+    ``rate * (1 + amplitude * sin(2*pi*t / period))`` (mean ``rate``),
+    sampled by Lewis-Shedler thinning against the peak rate -- the
+    standard diurnal traffic shape that exercises autoscalers with
+    alternating overload peaks and idle troughs.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    peak = rate * (1.0 + amplitude)
+    clock = 0.0
+    for request in requests:
+        while True:
+            clock += float(rng.exponential(1.0 / peak))
+            instantaneous = rate * (
+                1.0 + amplitude * np.sin(2.0 * np.pi * clock / period)
+            )
+            if rng.random() * peak <= instantaneous:
+                break
         request.arrival_time = clock
     return list(requests)
 

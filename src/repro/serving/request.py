@@ -10,6 +10,7 @@ transition.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -28,27 +29,57 @@ class RequestState(enum.Enum):
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Client-side retry with exponential backoff.
+    """Client-side retry with jittered exponential backoff.
 
     Shed or faulted requests are re-submitted after
-    ``backoff_base * backoff_multiplier ** attempt`` seconds, up to
-    ``max_retries`` attempts, mirroring how serving clients react to
-    load-shedding responses.
+    ``backoff_base * backoff_multiplier ** attempt`` seconds (capped at
+    ``max_backoff``), up to ``max_retries`` attempts, mirroring how
+    serving clients react to load-shedding responses.
+
+    ``jitter`` spreads the delay uniformly over
+    ``[1 - jitter, 1 + jitter]`` times the nominal backoff so retries
+    from correlated failures do not re-arrive as a thundering herd.  The
+    jitter is stateless and deterministic: it is derived from
+    ``(seed, token, attempt)``, so the same request retrying for the
+    same time always waits the same virtual-clock delay, which keeps
+    chaos and fleet runs byte-reproducible.
     """
 
     max_retries: int = 3
     backoff_base: float = 0.25
     backoff_multiplier: float = 2.0
+    #: Relative jitter amplitude in ``[0, 1]``; 0 disables jitter.
+    jitter: float = 0.0
+    #: Upper bound on the (pre-jitter) delay; None = unbounded.
+    max_backoff: Optional[float] = None
+    #: Stream seed for the deterministic jitter.
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_base < 0 or self.backoff_multiplier < 1.0:
             raise ValueError("need backoff_base >= 0 and backoff_multiplier >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.max_backoff is not None and self.max_backoff < 0:
+            raise ValueError("max_backoff must be >= 0")
 
-    def backoff(self, attempt: int) -> float:
-        """Delay before retry number ``attempt`` (0-based)."""
-        return self.backoff_base * self.backoff_multiplier ** attempt
+    def backoff(self, attempt: int, token: int = 0) -> float:
+        """Delay before retry number ``attempt`` (0-based).
+
+        ``token`` identifies the retrying entity (e.g. a request id) so
+        distinct requests draw decorrelated jitter from the same seed.
+        """
+        delay = self.backoff_base * self.backoff_multiplier ** attempt
+        if self.max_backoff is not None:
+            delay = min(delay, self.max_backoff)
+        if self.jitter > 0.0:
+            # String seeds hash through SHA-512 inside random.Random,
+            # so the stream is stable across platforms and processes.
+            rng = random.Random(f"{self.seed}/{token}/{attempt}")
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
 
 
 @dataclass

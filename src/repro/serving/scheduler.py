@@ -198,12 +198,24 @@ class ContinuousBatchingScheduler:
         Frees its KV blocks and rolls its progress back (to zero for
         capacity preemption, to the last checkpoint for fault
         recovery); the victim is re-admitted ahead of later arrivals.
+
+        A victim that already FINISHED this step (but has not been
+        retired by the next :meth:`step` yet) is retired here instead of
+        restarted -- re-running a served request would double-serve it.
         """
         if victim not in self.running:
             raise ValueError(f"request {victim.request_id} is not running")
         self.running.remove(victim)
         self.mutation_count += 1
+        blocks = len(self.block_manager.block_list(victim.request_id))
         self.block_manager.free(victim.request_id)
+        if victim.state is RequestState.FINISHED:
+            if self.tracer is not None:
+                self.tracer.record(
+                    "kv.free", "kv", self._last_now, self._last_now,
+                    request_id=victim.request_id, blocks=blocks,
+                )
+            return
         if self.audit is not None:
             kept = victim.checkpoint if from_checkpoint else 0
             self.audit.on_tokens_rolled_back(victim.generated - kept)
@@ -221,13 +233,19 @@ class ContinuousBatchingScheduler:
             self.metrics.counter("scheduler.preemptions").inc()
 
     def shed(self, request: Request, reason: str) -> None:
-        """Drop a request from either queue with a rejection reason."""
+        """Drop a request from either queue with a rejection reason.
+
+        Shedding a request that already FINISHED (still awaiting
+        retirement) retires it instead -- it was served, not rejected.
+        """
         if request in self.waiting:
             self.waiting.remove(request)
         elif request in self.running:
             self.running.remove(request)
             self.mutation_count += 1
             self.block_manager.free(request.request_id)
+            if request.state is RequestState.FINISHED:
+                return
         else:
             raise ValueError(f"request {request.request_id} is not scheduled")
         request.shed(reason)
@@ -243,8 +261,15 @@ class ContinuousBatchingScheduler:
             self.metrics.counter("scheduler.sheds").inc()
 
     def fail_all(self, reason: str) -> List[Request]:
-        """Terminally fail every scheduled request (e.g. total outage)."""
-        victims = self.waiting + self.running
+        """Terminally fail every scheduled request (e.g. total outage).
+
+        Requests that FINISHED during the last step (awaiting retirement)
+        are retired, not failed -- they were already served.
+        """
+        victims = [
+            r for r in self.waiting + self.running
+            if r.state is not RequestState.FINISHED
+        ]
         for request in self.running:
             self.block_manager.free(request.request_id)
         if self.running:
