@@ -25,8 +25,8 @@ mechanistic performance/energy models of both devices:
 
 Quickstart::
 
-    from repro import get_device
-    gaudi, a100 = get_device("gaudi2"), get_device("a100")
+    from repro import A100, GAUDI2, get_device
+    gaudi, a100 = get_device(GAUDI2), get_device(A100)
     print(gaudi.gemm(8192, 8192, 8192).utilization)   # ~0.997
     print(a100.gemm(8192, 8192, 8192).utilization)    # ~0.91
 """
@@ -34,12 +34,21 @@ Quickstart::
 from repro.hw import (
     A100Device,
     A100_SPEC,
+    A100,
+    GAUDI2,
+    GAUDI3,
+    H100,
+    Backend,
     DType,
     Device,
     DeviceSpec,
     GAUDI2_SPEC,
     Gaudi2Device,
+    get_backend,
     get_device,
+    list_backends,
+    register_backend,
+    resolve_backend,
 )
 
 __version__ = "1.0.0"
@@ -47,11 +56,20 @@ __version__ = "1.0.0"
 __all__ = [
     "A100Device",
     "A100_SPEC",
+    "A100",
+    "Backend",
+    "GAUDI2",
+    "GAUDI3",
+    "H100",
     "DType",
     "Device",
     "DeviceSpec",
     "GAUDI2_SPEC",
     "Gaudi2Device",
     "__version__",
+    "get_backend",
     "get_device",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
 ]

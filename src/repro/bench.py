@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import memo
+from repro.hw.backend import GAUDI2, resolve_backend
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -37,6 +38,10 @@ __all__ = [
 ]
 
 BENCH_SCHEMA = "repro-bench/v1"
+
+#: Backend the serving/chaos cases run on; ``run_bench(backend=...)``
+#: swaps it so the regression harness can time any registered backend.
+_BENCH_BACKEND = GAUDI2
 
 #: Cases whose baseline time is below this are reported but never
 #: gated: at millisecond scale the ratio is dominated by jitter.
@@ -98,12 +103,17 @@ def _fig17_serving(fast: bool) -> None:
 
 def _serving_run(num_requests: int) -> None:
     from repro.hw.device import get_device
-    from repro.models.llama import LLAMA_3_1_8B, DecodeAttention, LlamaCostModel
+    from repro.models.llama import (
+        LLAMA_3_1_8B,
+        LlamaCostModel,
+        default_decode_attention,
+    )
     from repro.serving import LlmServingEngine, dynamic_sonnet_requests
 
+    device = get_device(_BENCH_BACKEND)
     engine = LlmServingEngine(
-        LlamaCostModel(LLAMA_3_1_8B, get_device("gaudi2")),
-        DecodeAttention.PAGED_OPT,
+        LlamaCostModel(LLAMA_3_1_8B, device),
+        default_decode_attention(device),
         max_decode_batch=64,
     )
     engine.run(dynamic_sonnet_requests(num_requests, seed=0))
@@ -123,7 +133,7 @@ def _chaos_load(fast: bool) -> None:
     )
     run_chaos(config=ChaosConfig(
         model="8b",
-        device="gaudi2",
+        device=_BENCH_BACKEND,
         tp=4,
         max_decode_batch=32,
         num_requests=32 if fast else 96,
@@ -169,8 +179,15 @@ def run_bench(
     fast: bool = True,
     repeats: int = 3,
     cases: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Time the registered workloads; returns the result document."""
+    """Time the registered workloads; returns the result document.
+
+    ``backend`` points the serving/chaos cases at another registered
+    backend; the default (gaudi2) keeps baseline documents comparable.
+    """
+    global _BENCH_BACKEND
+    _BENCH_BACKEND = resolve_backend(backend) if backend else GAUDI2
     if cases is None:
         selected = [c for c in CASES if c.in_fast_mode or not fast]
     else:
@@ -197,6 +214,10 @@ def run_bench(
         "calibration_seconds": calibration["seconds"],
         "cases": {case.name: _time_case(case, fast, repeats) for case in selected},
     }
+    if _BENCH_BACKEND != GAUDI2:
+        # Non-default backends are flagged so a result document is
+        # never gated against a baseline timed on another platform.
+        result["backend"] = _BENCH_BACKEND
     before = {
         name: BEFORE_SECONDS[name]
         for name in result["cases"]

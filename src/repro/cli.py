@@ -3,13 +3,14 @@
 Subcommands::
 
     python -m repro specs                      # Table 1
-    python -m repro gemm 4096 4096 4096        # one GEMM on both devices
+    python -m repro backends                   # registered accelerator backends
+    python -m repro gemm 4096 4096 4096        # one GEMM on the comparison set
     python -m repro figures [--id fig08] [--full] [--out DIR] [--workers auto]
-    python -m repro serve --model 8b --device gaudi2 --max-batch 64
+    python -m repro serve --model 8b --backend gaudi2 --max-batch 64
     python -m repro chaos --seed 0 --fail-device 3@t=2.0
     python -m repro trace --fast --out trace.json
-    python -m repro top --device gaudi2 --samples 10
-    python -m repro smi --workload llm --device gaudi2
+    python -m repro top --backend gaudi2 --samples 10
+    python -m repro smi --workload llm --backend gaudi2
     python -m repro bench --check              # perf-regression smoke gate
     python -m repro reproduce --out runs/r0    # journaled full reproduction
     python -m repro resume runs/r0             # finish an interrupted run
@@ -18,6 +19,12 @@ Every report-producing subcommand renders through the shared
 :func:`repro.api.render_report` path (``--format text|json|csv``).
 Subcommands that simulate accept ``--audit off|sample|strict`` to turn
 on the runtime invariant auditor (equivalent to ``REPRO_AUDIT``).
+
+Platform selection is uniform: single-platform verbs (serve, trace,
+top, chaos, smi) take ``--backend NAME``; comparison verbs (specs,
+gemm, figures, reproduce, fleet) take a repeatable ``--backend``
+naming the comparison set.  The legacy ``--device``/``--devices``
+flags still parse as deprecated aliases and warn once per process.
 """
 
 from __future__ import annotations
@@ -29,15 +36,139 @@ import sys
 from typing import List, Optional
 
 from repro.core.report import render_table
+from repro.hw.backend import (
+    BACKENDS_ENV,
+    DEFAULT_COMPARISON,
+    comparison_backends,
+    resolve_backend,
+)
 from repro.hw.device import get_device
-from repro.hw.spec import DType, spec_comparison_rows
+from repro.hw.spec import DType, spec_comparison_rows, spec_comparison_rows_for
 
 
-def _cmd_specs(_args: argparse.Namespace) -> int:
+#: Deprecated flags already warned about this process (one line each).
+_WARNED_DEPRECATED: set = set()
+
+
+class _DeprecatedAlias(argparse.Action):
+    """A legacy flag kept as an alias of ``--backend``.
+
+    Stores into the replacement's ``dest`` and emits a single
+    deprecation warning per flag per process (satellite: per-verb
+    ad-hoc platform flags fold into one ``--backend``).
+    """
+
+    def __init__(self, *args, replacement: str = "--backend", **kwargs):
+        self.replacement = replacement
+        kwargs.setdefault("default", argparse.SUPPRESS)
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string not in _WARNED_DEPRECATED:
+            _WARNED_DEPRECATED.add(option_string)
+            print(
+                f"warning: {option_string} is deprecated; use {self.replacement}",
+                file=sys.stderr,
+            )
+        if isinstance(values, list):
+            current = getattr(namespace, self.dest, None) or []
+            setattr(namespace, self.dest, list(current) + values)
+        else:
+            setattr(namespace, self.dest, values)
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser, *, multiple: bool,
+                      deprecated: Optional[str] = None,
+                      default: Optional[str] = None) -> None:
+    """The unified ``--backend`` platform flag.
+
+    ``multiple`` verbs (gemm/figures/reproduce/fleet) take a repeatable
+    flag naming the comparison set; single-platform verbs take one
+    value.  ``deprecated`` registers the verb's legacy flag as an alias
+    that warns once.
+    """
+    if multiple:
+        parser.add_argument(
+            "--backend", action="append", default=None, metavar="NAME",
+            help="registered backend (repeatable; see `repro backends`; "
+                 "default: gaudi2 + a100, or REPRO_BACKENDS)",
+        )
+    else:
+        parser.add_argument(
+            "--backend", dest="device", default=default or "gaudi2",
+            metavar="NAME",
+            help="registered backend name (see `repro backends`)",
+        )
+    if deprecated:
+        nargs = "+" if multiple else None
+        dest = "backend" if multiple else "device"
+        parser.add_argument(
+            deprecated, dest=dest, action=_DeprecatedAlias, nargs=nargs,
+            help=argparse.SUPPRESS,
+        )
+
+
+def _comparison_set(args: argparse.Namespace, export: bool = False) -> List[str]:
+    """Resolve the verb's comparison set: ``--backend`` flags, the
+    ``REPRO_BACKENDS`` environment, then the default pair.
+
+    With ``export``, explicitly passed flags are published as
+    ``REPRO_BACKENDS`` so process-pool figure workers inherit them
+    (cleared again when the flags name the default pair).
+    """
+    names = getattr(args, "backend", None)
+    if not names:
+        return list(comparison_backends())
+    keys: List[str] = []
+    for name in names:
+        key = resolve_backend(name)
+        if key not in keys:
+            keys.append(key)
+    if export:
+        if tuple(keys) != DEFAULT_COMPARISON:
+            os.environ[BACKENDS_ENV] = ",".join(keys)
+        else:
+            os.environ.pop(BACKENDS_ENV, None)
+    return keys
+
+
+def _cmd_specs(args: argparse.Namespace) -> int:
+    keys = _comparison_set(args)
+    if tuple(keys) == DEFAULT_COMPARISON:
+        print(render_table(
+            ["Metric", "A100", "Gaudi-2", "Ratio"],
+            spec_comparison_rows(),
+            title="Table 1: NVIDIA A100 vs Intel Gaudi-2",
+        ))
+        return 0
+    from repro.hw.spec import get_spec
+
+    specs = [get_spec(key) for key in keys]
     print(render_table(
-        ["Metric", "A100", "Gaudi-2", "Ratio"],
-        spec_comparison_rows(),
-        title="Table 1: NVIDIA A100 vs Intel Gaudi-2",
+        ["Metric", *[s.name for s in specs], "Ratio (vs first)"],
+        spec_comparison_rows_for(specs),
+        title="Table 1: " + " vs ".join(s.name for s in specs),
+    ))
+    return 0
+
+
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    from repro.hw.backend import REGISTRY
+
+    rows = []
+    for info in REGISTRY.infos():
+        rows.append((
+            info.key,
+            info.display_name,
+            info.vendor,
+            info.family,
+            ", ".join(info.aliases),
+            info.summary,
+        ))
+    print(render_table(
+        ["Key", "Name", "Vendor", "Family", "Aliases", "Summary"],
+        rows,
+        title="Registered backends",
     ))
     return 0
 
@@ -45,7 +176,7 @@ def _cmd_specs(_args: argparse.Namespace) -> int:
 def _cmd_gemm(args: argparse.Namespace) -> int:
     dtype = DType(args.dtype)
     rows = []
-    for name in args.devices:
+    for name in _comparison_set(args):
         device = get_device(name)
         result = device.gemm(args.m, args.k, args.n, dtype)
         rows.append((
@@ -66,6 +197,7 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.figures import FIGURES, generate_all, run_figure
 
+    _comparison_set(args, export=True)  # validate; workers inherit env
     if args.markdown:
         from repro.figures.report_md import experiments_markdown
 
@@ -99,19 +231,15 @@ def _build_serving_engine(args: argparse.Namespace, ctx=None):
     from repro.models.llama import (
         LLAMA_3_1_70B,
         LLAMA_3_1_8B,
-        DecodeAttention,
         LlamaCostModel,
+        default_decode_attention,
     )
     from repro.models.tensor_parallel import TensorParallelConfig
     from repro.serving import LlmServingEngine
 
     config = LLAMA_3_1_8B if args.model == "8b" else LLAMA_3_1_70B
     device = get_device(args.device)
-    attention = (
-        DecodeAttention.PAGED_CUDA
-        if device.name == "A100"
-        else DecodeAttention.PAGED_OPT
-    )
+    attention = default_decode_attention(device)
     tp = TensorParallelConfig.for_device(device, getattr(args, "tp", 1))
     engine = LlmServingEngine(
         LlamaCostModel(config, device, tp=tp),
@@ -224,6 +352,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.core.reproduce import reproduce
 
+    _comparison_set(args, export=True)  # validate; workers inherit env
     result = reproduce(
         args.out,
         fast=not args.full,
@@ -335,8 +464,22 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             max_nodes=args.max_nodes,
             provision_delay=args.provision_delay,
         )
+    if args.backend:
+        # --backend g2 --backend a100 --backend a100 -> 1x g2, 2x a100
+        pools: List[tuple] = []
+        for name in args.backend:
+            key = resolve_backend(name)
+            for i, (pool, count) in enumerate(pools):
+                if pool == key:
+                    pools[i] = (pool, count + 1)
+                    break
+            else:
+                pools.append((key, 1))
+        nodes = tuple(pools)
+    else:
+        nodes = _parse_nodes_spec(" ".join(args.nodes))
     config = FleetConfig(
-        nodes=_parse_nodes_spec(" ".join(args.nodes)),
+        nodes=nodes,
         model=args.model,
         tp=args.tp,
         max_decode_batch=args.max_batch,
@@ -376,13 +519,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
     cases = args.case or None
-    result = bench.run_bench(fast=not args.full, repeats=args.repeats, cases=cases)
+    result = bench.run_bench(
+        fast=not args.full, repeats=args.repeats, cases=cases,
+        backend=args.backend,
+    )
     print(bench.render_result(result))
     if args.out or not args.check:
         path = bench.write_result(result, args.out)
         print(f"bench result written to {path}")
     exit_code = 0
     baseline_path = pathlib.Path(args.baseline)
+    if args.check and result.get("backend"):
+        print(f"note: baseline gate skipped: result timed on backend "
+              f"{result['backend']!r}, baseline is gaudi2")
+        return 0
     if args.check:
         if not baseline_path.exists():
             print(f"no baseline at {baseline_path}; nothing to check against")
@@ -409,7 +559,7 @@ def _cmd_smi(args: argparse.Namespace) -> int:
     from repro.hw.power import ActivityAccumulator
     from repro.models.dlrm import DlrmCostModel, RM2_CONFIG
     from repro.models.llama import LLAMA_3_1_8B, LlamaCostModel
-    from repro.tools.smi import hl_smi, nvidia_smi
+    from repro.tools.smi import smi
 
     device = get_device(args.device)
     if args.workload == "llm":
@@ -421,8 +571,7 @@ def _cmd_smi(args: argparse.Namespace) -> int:
         acc = ActivityAccumulator()
         time = dlrm.embedding_time(4096, acc)
         activity = acc.profile(time)
-    reader = hl_smi if device.spec.vendor == "Intel" else nvidia_smi
-    print(reader(activity, device.spec).render())
+    print(smi(device, activity).render())
     return 0
 
 
@@ -442,16 +591,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("specs", help="print the Table 1 spec comparison").set_defaults(
-        fn=_cmd_specs
+    specs = sub.add_parser("specs", help="print the Table 1 spec comparison")
+    _add_backend_flag(specs, multiple=True)
+    specs.set_defaults(fn=_cmd_specs)
+
+    backends = sub.add_parser(
+        "backends", help="list the registered accelerator backends"
     )
+    backends.set_defaults(fn=_cmd_backends)
 
     gemm = sub.add_parser("gemm", help="run one GEMM shape on the device models")
     gemm.add_argument("m", type=int)
     gemm.add_argument("k", type=int)
     gemm.add_argument("n", type=int)
     gemm.add_argument("--dtype", default="bf16", choices=[d.value for d in DType])
-    gemm.add_argument("--devices", nargs="+", default=["gaudi2", "a100"])
+    _add_backend_flag(gemm, multiple=True, deprecated="--devices")
     gemm.set_defaults(fn=_cmd_gemm)
 
     figures = sub.add_parser("figures", help="regenerate paper tables/figures")
@@ -463,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--workers", default=None,
                          help="process-pool size for regenerating all figures "
                               "(an int or 'auto'; default: REPRO_WORKERS or serial)")
+    _add_backend_flag(figures, multiple=True)
     _add_audit_flag(figures)
     figures.set_defaults(fn=_cmd_figures)
 
@@ -484,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="one figure id (repeatable; default: all)")
     reproduce.add_argument("--workers", default=None,
                            help="process-pool size (an int or 'auto')")
+    _add_backend_flag(reproduce, multiple=True)
     _add_audit_flag(reproduce)
     reproduce.set_defaults(fn=_cmd_reproduce)
 
@@ -499,7 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help="run the vLLM-style serving simulation")
     serve.add_argument("--model", default="8b", choices=["8b", "70b"])
-    serve.add_argument("--device", default="gaudi2")
+    _add_backend_flag(serve, multiple=False, deprecated="--device")
     serve.add_argument("--tp", type=int, default=1, help="tensor-parallel degree")
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument("--requests", type=int, default=64)
@@ -519,7 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     trace.add_argument("--model", default="8b", choices=["8b", "70b"])
-    trace.add_argument("--device", default="gaudi2")
+    _add_backend_flag(trace, multiple=False, deprecated="--device")
     trace.add_argument("--tp", type=int, default=4, help="tensor-parallel degree")
     trace.add_argument("--max-batch", type=int, default=32)
     trace.add_argument("--requests", type=int, default=64)
@@ -536,7 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="hl-smi/top style sampled view of a traced serving run",
     )
     top.add_argument("--model", default="8b", choices=["8b", "70b"])
-    top.add_argument("--device", default="gaudi2")
+    _add_backend_flag(top, multiple=False, deprecated="--device")
     top.add_argument("--tp", type=int, default=4, help="tensor-parallel degree")
     top.add_argument("--max-batch", type=int, default=32)
     top.add_argument("--requests", type=int, default=32)
@@ -557,7 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     chaos.add_argument("--model", default="8b", choices=["8b", "70b"])
-    chaos.add_argument("--device", default="gaudi2", choices=["gaudi2", "a100"])
+    _add_backend_flag(chaos, multiple=False, deprecated="--device")
     chaos.add_argument("--tp", type=int, default=8,
                        help="tensor-parallel degree (the fault domain size)")
     chaos.add_argument("--max-batch", type=int, default=32)
@@ -605,6 +761,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--chaos 'crash:gaudi2-1@t=2,recover=6' --audit strict"
         ),
     )
+    fleet.add_argument("--backend", action="append", default=None, metavar="NAME",
+                       help="shorthand for one single-node pool per backend "
+                            "(repeatable; overrides --nodes)")
     fleet.add_argument("--nodes", nargs="+", default=["2x", "gaudi2"],
                        metavar="SPEC",
                        help="pools as 'Nx device' comma-separated, "
@@ -688,12 +847,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="samples per case; the best is kept (default 3)")
     bench.add_argument("--case", action="append", default=[],
                        help="run only this case (repeatable)")
+    bench.add_argument("--backend", default=None, metavar="NAME",
+                       help="backend the serving/chaos cases run on "
+                            "(default gaudi2; non-default results are "
+                            "never gated against the baseline)")
     bench.add_argument("--out", default=None,
                        help="explicit output path instead of BENCH_<stamp>.json")
     bench.set_defaults(fn=_cmd_bench)
 
     smi = sub.add_parser("smi", help="hl-smi / nvidia-smi style readout")
-    smi.add_argument("--device", default="gaudi2")
+    _add_backend_flag(smi, multiple=False, deprecated="--device")
     smi.add_argument("--workload", default="llm", choices=["llm", "recsys"])
     smi.set_defaults(fn=_cmd_smi)
 

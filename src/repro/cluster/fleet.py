@@ -48,6 +48,7 @@ from repro.cluster.report import FleetResilienceReport, NodeReport
 from repro.core.journal import RunJournal
 from repro.core.metrics import percentile
 from repro.faults.report import GATEWAY_SHED_PREFIX
+from repro.hw.backend import GAUDI2, resolve_backend
 from repro.serving.engine import ResiliencePolicy
 from repro.serving.dataset import dynamic_sonnet_requests
 from repro.serving.loadgen import diurnal_arrivals, poisson_arrivals
@@ -62,7 +63,7 @@ class FleetConfig:
 
     #: Heterogeneous pools: ((class name, count), ...); class names are
     #: device names ("gaudi2", "a100") and double as pool names.
-    nodes: Tuple[Tuple[str, int], ...] = (("gaudi2", 2),)
+    nodes: Tuple[Tuple[str, int], ...] = ((GAUDI2, 2),)
     model: str = "8b"
     tp: int = 8
     max_decode_batch: int = 32
@@ -93,6 +94,7 @@ class FleetConfig:
         if not self.nodes:
             raise ConfigError("fleet needs at least one node pool")
         for name, count in self.nodes:
+            resolve_backend(name)  # typed error naming registered backends
             if count < 1:
                 raise ConfigError(f"pool {name!r} needs count >= 1, got {count}")
         if self.num_requests < 1:

@@ -27,12 +27,13 @@ from typing import Dict, List, Optional
 from repro.audit import ConfigError
 from repro.comm.topology import FabricHealth
 from repro.faults.chaos import build_degraded_collectives
+from repro.hw.backend import resolve_backend
 from repro.hw.device import get_device
 from repro.models.llama import (
     LLAMA_3_1_70B,
     LLAMA_3_1_8B,
-    DecodeAttention,
     LlamaCostModel,
+    default_decode_attention,
 )
 from repro.serving.engine import LlmServingEngine, ResiliencePolicy, ServingReport
 from repro.serving.request import Request, RequestState
@@ -56,6 +57,9 @@ class NodeClass:
     num_kv_blocks: Optional[int] = None
 
     def __post_init__(self) -> None:
+        # Canonicalize through the backend registry (typed ConfigError
+        # listing registered backends on unknown device names).
+        object.__setattr__(self, "device", resolve_backend(self.device))
         if self.model not in ("8b", "70b"):
             raise ConfigError(f"model must be '8b' or '70b', got {self.model!r}")
         if self.tp < 1:
@@ -161,11 +165,7 @@ class Node:
         )
         device = get_device(node_class.device)
         llama = LLAMA_3_1_8B if node_class.model == "8b" else LLAMA_3_1_70B
-        attention = (
-            DecodeAttention.PAGED_CUDA
-            if device.name == "A100"
-            else DecodeAttention.PAGED_OPT
-        )
+        attention = default_decode_attention(device)
         self.compute = _NodeComputeState()
         self.engine = LlmServingEngine(
             LlamaCostModel(llama, device, tp=tp_config),

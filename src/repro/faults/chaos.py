@@ -30,12 +30,14 @@ from repro.core.metrics import percentile
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.report import ResilienceReport, shed_reason_counts
+from repro.hw.backend import GAUDI2, resolve_backend
 from repro.hw.device import get_device
+from repro.hw.spec import get_spec
 from repro.models.llama import (
     LLAMA_3_1_70B,
     LLAMA_3_1_8B,
-    DecodeAttention,
     LlamaCostModel,
+    default_decode_attention,
 )
 from repro.models.tensor_parallel import TensorParallelConfig
 from repro.serving.engine import LlmServingEngine, ResiliencePolicy
@@ -54,7 +56,7 @@ class ChaosConfig:
     """One chaos experiment (all knobs surfaced by ``repro chaos``)."""
 
     model: str = "8b"
-    device: str = "gaudi2"
+    device: str = GAUDI2
     tp: int = 8
     max_decode_batch: int = 32
     num_requests: int = 128
@@ -73,6 +75,9 @@ class ChaosConfig:
         ``ValueError``, so older ``except ValueError`` callers hold)."""
         if self.model not in ("8b", "70b"):
             raise ConfigError(f"model must be '8b' or '70b', got {self.model!r}")
+        # Normalize to the canonical registry key (raises ConfigError,
+        # listing the registered backends, on unknown names).
+        self.device = resolve_backend(self.device)
         if self.tp < 1:
             raise ConfigError(f"tp must be >= 1, got {self.tp}")
         if self.max_decode_batch < 1:
@@ -113,7 +118,8 @@ def build_degraded_collectives(device: str, tp: int, health: FabricHealth):
     if tp == 1:
         return TensorParallelConfig(degree=1), None, None
     num_devices = max(8, tp)
-    if device == "gaudi2":
+    spec = get_spec(device)
+    if spec.interconnect.kind == "p2p-mesh":
         healthy = HcclLibrary(P2PMeshTopology(num_devices=num_devices))
         degraded_topology = DegradedMeshTopology(healthy.topology, health)
     else:
@@ -150,9 +156,7 @@ def run_chaos(*, config: ChaosConfig, ctx=None) -> ResilienceReport:
     tp_config, healthy_lib, degraded_lib = _build_collectives(config, health)
     llama = LLAMA_3_1_8B if config.model == "8b" else LLAMA_3_1_70B
     model = LlamaCostModel(llama, device, tp=tp_config)
-    attention = (
-        DecodeAttention.PAGED_CUDA if device.name == "A100" else DecodeAttention.PAGED_OPT
-    )
+    attention = default_decode_attention(device)
     injector = FaultInjector(config.plan, num_devices=max(config.tp, 1), health=health)
     policy = ResiliencePolicy(
         deadline=config.deadline,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.report import render_table
 from repro.core.roofline import Roofline
 from repro.figures.common import FigureResult, register_figure
+from repro.hw.backend import DEFAULT_COMPARISON, comparison_backends
 from repro.hw.device import get_device
 from repro.kernels.gemm import (
     IRREGULAR_N,
@@ -22,13 +23,20 @@ from repro.kernels.gemm import (
 
 @register_figure("fig04")
 def run(fast: bool = True) -> FigureResult:
-    """Regenerate this figure's rows, summary, and text report."""
-    gaudi, a100 = get_device("gaudi2"), get_device("a100")
+    """Regenerate this figure's rows, summary, and text report.
+
+    Honors the registry comparison set (``REPRO_BACKENDS`` / repeated
+    ``--backend``): the default pair is the paper's Gaudi-2-vs-A100
+    roofline; extra backends (e.g. h100) add their points and the
+    summary gains per-backend peak columns.
+    """
+    keys = comparison_backends()
+    devices = [get_device(key) for key in keys]
     square = SQUARE_SIZES[::2] if fast else SQUARE_SIZES
     irregular = IRREGULAR_SIZES[::2] if fast else IRREGULAR_SIZES
 
     rows = []
-    for device in (gaudi, a100):
+    for device in devices:
         roofline = Roofline.for_device(device.spec)
         for size in square:
             point = run_gemm(device=device, m=size, k=size, n=size)
@@ -51,22 +59,37 @@ def run(fast: bool = True) -> FigureResult:
         ],
         title="Figure 4: GEMM roofline points (BF16)",
     )
-    peak_8192 = max(
-        (r for r in rows if r["device"] == "Gaudi-2" and r["shape"] == "square"),
-        key=lambda r: r["m"],
-    )
-    gaudi_square = [r for r in rows if r["device"] == "Gaudi-2" and r["shape"] == "square"]
-    a100_square = [r for r in rows if r["device"] == "A100" and r["shape"] == "square"]
-    wins = sum(
-        1
-        for rg, ra in zip(gaudi_square, a100_square)
-        if rg["achieved_tflops"] > ra["achieved_tflops"]
-    )
-    summary = {
-        "gaudi_peak_tflops_largest_square": peak_8192["achieved_tflops"],
-        "gaudi_peak_utilization_largest_square": peak_8192["utilization"],
-        "gaudi_wins_all_square_shapes": float(wins == len(gaudi_square)),
-    }
+    if keys == DEFAULT_COMPARISON:
+        peak_8192 = max(
+            (r for r in rows if r["device"] == "Gaudi-2" and r["shape"] == "square"),
+            key=lambda r: r["m"],
+        )
+        gaudi_square = [
+            r for r in rows if r["device"] == "Gaudi-2" and r["shape"] == "square"
+        ]
+        a100_square = [
+            r for r in rows if r["device"] == "A100" and r["shape"] == "square"
+        ]
+        wins = sum(
+            1
+            for rg, ra in zip(gaudi_square, a100_square)
+            if rg["achieved_tflops"] > ra["achieved_tflops"]
+        )
+        summary = {
+            "gaudi_peak_tflops_largest_square": peak_8192["achieved_tflops"],
+            "gaudi_peak_utilization_largest_square": peak_8192["utilization"],
+            "gaudi_wins_all_square_shapes": float(wins == len(gaudi_square)),
+        }
+    else:
+        summary = {}
+        for key, device in zip(keys, devices):
+            peak = max(
+                (r for r in rows
+                 if r["device"] == device.name and r["shape"] == "square"),
+                key=lambda r: r["m"],
+            )
+            summary[f"{key}_peak_tflops_largest_square"] = peak["achieved_tflops"]
+            summary[f"{key}_peak_utilization_largest_square"] = peak["utilization"]
     return FigureResult(
         figure_id="fig04", title="GEMM roofline", rows=rows, summary=summary, text=table
     )

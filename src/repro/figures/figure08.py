@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.core.report import render_table
 from repro.figures.common import FigureResult, register_figure
+from repro.hw.backend import A100, GAUDI2
 from repro.hw.device import get_device
 from repro.kernels.stream import StreamOp, run_stream
 
@@ -28,7 +29,7 @@ _ELEMENTS_FAST = 2_400_000
 @register_figure("fig08")
 def run(fast: bool = True) -> FigureResult:
     """Regenerate this figure's rows, summary, and text report."""
-    gaudi, a100 = get_device("gaudi2"), get_device("a100")
+    gaudi, a100 = get_device(GAUDI2), get_device(A100)
     n = _ELEMENTS_FAST if fast else _ELEMENTS
     granularities = _GRANULARITIES[::2] if fast else _GRANULARITIES
     tpc_counts = _TPC_COUNTS[::2] if fast else _TPC_COUNTS

@@ -1,15 +1,32 @@
-"""Table 1: NVIDIA A100 vs Intel Gaudi-2 spec comparison."""
+"""Table 1: accelerator spec comparison (A100 vs Gaudi-2 by default).
+
+Honors the registry comparison set (``REPRO_BACKENDS`` / repeated
+``--backend`` flags): the default pair reproduces the paper's
+two-column table byte for byte, while a wider set (e.g. adding h100)
+renders one column per backend plus ratios against the first.
+"""
 
 from __future__ import annotations
 
 from repro.core.report import render_table
 from repro.figures.common import FigureResult, register_figure
-from repro.hw.spec import A100_SPEC, GAUDI2_SPEC, DType, spec_comparison_rows
+from repro.hw.backend import DEFAULT_COMPARISON, comparison_backends
+from repro.hw.spec import (
+    A100_SPEC,
+    GAUDI2_SPEC,
+    DType,
+    get_spec,
+    spec_comparison_rows,
+    spec_comparison_rows_for,
+)
 
 
 @register_figure("table1")
 def run(fast: bool = True) -> FigureResult:
     """Regenerate this table's rows, summary, and text report."""
+    keys = comparison_backends()
+    if keys != DEFAULT_COMPARISON:
+        return _run_nway(keys)
     rows = [
         {"metric": metric, "a100": a, "gaudi2": g, "ratio": r}
         for metric, a, g, r in spec_comparison_rows()
@@ -27,5 +44,35 @@ def run(fast: bool = True) -> FigureResult:
         "bandwidth_ratio": GAUDI2_SPEC.memory.bandwidth / A100_SPEC.memory.bandwidth,
         "power_ratio": GAUDI2_SPEC.power.tdp_watts / A100_SPEC.power.tdp_watts,
     }
+    return FigureResult(figure_id="table1", title="Device spec comparison",
+                        rows=rows, summary=summary, text=text)
+
+
+def _run_nway(keys) -> FigureResult:
+    """One column per backend in the comparison set; ratios vs the
+    first (baseline) column."""
+    specs = [get_spec(key) for key in keys]
+    raw = spec_comparison_rows_for(specs)
+    rows = [
+        {"metric": row[0],
+         **{key: value for key, value in zip(keys, row[1:-1])},
+         "ratio": row[-1]}
+        for row in raw
+    ]
+    text = render_table(
+        ["Metric", *[s.name for s in specs], "Ratio (vs first)"],
+        raw,
+        title="Table 1: Comparison of " + " / ".join(s.name for s in specs),
+    )
+    base = specs[0]
+    summary = {}
+    for key, spec in zip(keys[1:], specs[1:]):
+        summary[f"{key}_matrix_tflops_ratio"] = (
+            spec.matrix.peak(DType.BF16) / base.matrix.peak(DType.BF16)
+        )
+        summary[f"{key}_bandwidth_ratio"] = (
+            spec.memory.bandwidth / base.memory.bandwidth
+        )
+        summary[f"{key}_power_ratio"] = spec.power.tdp_watts / base.power.tdp_watts
     return FigureResult(figure_id="table1", title="Device spec comparison",
                         rows=rows, summary=summary, text=text)

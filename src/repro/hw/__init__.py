@@ -1,17 +1,22 @@
-"""Hardware models for the two evaluated platforms.
+"""Hardware models for the evaluated platforms.
 
 This package contains mechanistic performance and energy models of the
-Intel Gaudi-2 NPU and the NVIDIA A100 GPU, built from the
-microarchitectural facts documented in the paper (Table 1, Section 2,
-and the reverse-engineering results of Section 3):
+Intel Gaudi-2 NPU, the NVIDIA A100 GPU, and further registered
+backends, built from the microarchitectural facts documented in the
+paper (Table 1, Section 2, and the reverse-engineering results of
+Section 3):
 
 * :mod:`repro.hw.spec` -- typed spec sheets (Table 1 of the paper).
+* :mod:`repro.hw.backend` -- the ``Backend`` protocol and the
+  string-keyed registry every platform lookup resolves through.
 * :mod:`repro.hw.systolic` -- a generic output-stationary systolic-array
   cycle model.
 * :mod:`repro.hw.mme` -- Gaudi's reconfigurable Matrix Multiplication
   Engine, including the geometry set recovered in Figure 7(a).
 * :mod:`repro.hw.tensorcore` -- A100's Tensor Core GEMM model with CTA
   tiling and SM wave quantization.
+* :mod:`repro.hw.hopper` -- the H100 tile-based tensor-core GEMM model
+  (the registry's third contender).
 * :mod:`repro.hw.vector_unit` -- peak-throughput models for the TPC
   vector unit and the A100 SIMD cores.
 * :mod:`repro.hw.memory` -- HBM bandwidth model with access-granularity
@@ -21,6 +26,18 @@ and the reverse-engineering results of Section 3):
   that tie the component models together.
 """
 
+from repro.hw.backend import (
+    A100,
+    GAUDI2,
+    GAUDI3,
+    H100,
+    Backend,
+    BackendInfo,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
 from repro.hw.device import A100Device, Device, Gaudi2Device, get_device
 from repro.hw.mme import MmeConfig, MmeModel
 from repro.hw.memory import AccessPattern, HbmModel
@@ -42,6 +59,12 @@ __all__ = [
     "ActivityProfile",
     "A100_SPEC",
     "AccessPattern",
+    "A100",
+    "Backend",
+    "BackendInfo",
+    "GAUDI2",
+    "GAUDI3",
+    "H100",
     "Device",
     "DeviceSpec",
     "DType",
@@ -56,6 +79,10 @@ __all__ = [
     "SystolicGeometry",
     "TensorCoreModel",
     "VectorUnitModel",
+    "get_backend",
     "get_device",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
     "spec_comparison_rows",
 ]

@@ -1,22 +1,26 @@
 """Device facades tying the component models together.
 
-:class:`Gaudi2Device` and :class:`A100Device` expose a common interface
-(GEMM execution, HBM model, vector-engine model, power model, launch
-overheads) so kernels, the graph compiler, and the serving stack can be
-written once and run against either platform -- the same property the
+:class:`Gaudi2Device` and :class:`A100Device` expose the
+:class:`~repro.hw.backend.Backend` protocol (GEMM execution, HBM model,
+vector-engine model, power model, collective fabric, launch overheads)
+so kernels, the graph compiler, and the serving stack can be written
+once and run against any registered platform -- the same property the
 paper attributes to PyTorch's device abstraction (Figure 2(a)).
+
+Platform lookup goes through the string-keyed registry of
+:mod:`repro.hw.backend`; :func:`get_device` remains as the historical
+alias of :func:`repro.hw.backend.get_backend`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.core.memo import CostCache
 from repro.hw.memory import HbmModel
 from repro.hw.mme import MmeModel
 from repro.hw.power import PowerModel
-from repro.hw.spec import A100_SPEC, GAUDI2_SPEC, DeviceSpec, DType, get_spec
+from repro.hw.spec import A100_SPEC, GAUDI2_SPEC, DeviceSpec, DType
 from repro.hw.tensorcore import TensorCoreModel
 from repro.hw.vector_unit import VectorUnitModel
 
@@ -46,7 +50,26 @@ class MatmulResult:
 
 
 class Device:
-    """Common base class for the two modelled platforms."""
+    """Common base class of every modelled platform.
+
+    Subclasses fill in the class-level capability attributes (what the
+    :class:`~repro.hw.backend.Backend` protocol calls the kernel
+    dialect) plus the :meth:`_gemm_uncached` hook; everything else --
+    memory, vector, power models, caches, fabric -- derives from the
+    spec sheet.
+    """
+
+    #: Kernel-dialect family: which kernel implementations apply
+    #: ("gaudi" = graph-compiler fused MME + TPC-C; "cuda" = SIMT
+    #: kernels + tensor cores).
+    family = ""
+    #: Default paged decode-attention implementation
+    #: (a :class:`repro.models.llama.DecodeAttention` value string).
+    decode_attention = "paged-opt"
+    #: Which smi-style readout the tools layer renders.
+    smi_style = "hl-smi"
+    #: Fraction of matrix peak a fused dense-attention kernel sustains.
+    attention_efficiency = 0.5
 
     def __init__(self, spec: DeviceSpec) -> None:
         self.spec = spec
@@ -103,9 +126,24 @@ class Device:
     def peak_bandwidth(self) -> float:
         return self.spec.memory.bandwidth
 
+    def collective_library(self, num_devices: int = 8):
+        """The healthy collective library for this platform's fabric
+        (HCCL on a P2P mesh, NCCL behind a switch)."""
+        from repro.comm.api import HcclLibrary, NcclLibrary
+        from repro.comm.topology import P2PMeshTopology, SwitchTopology
+
+        if self.spec.interconnect.kind == "p2p-mesh":
+            return HcclLibrary(P2PMeshTopology(num_devices=num_devices))
+        return NcclLibrary(SwitchTopology(num_devices=num_devices))
+
 
 class Gaudi2Device(Device):
     """Intel Gaudi-2: reconfigurable MME + 24 programmable TPCs."""
+
+    family = "gaudi"
+    decode_attention = "paged-opt"
+    smi_style = "hl-smi"
+    attention_efficiency = 0.48
 
     def __init__(self, spec: DeviceSpec = GAUDI2_SPEC, mme_configurable: bool = True) -> None:
         super().__init__(spec)
@@ -137,6 +175,11 @@ class Gaudi2Device(Device):
 class A100Device(Device):
     """NVIDIA A100: Tensor Cores + 108 SMs of SIMD cores."""
 
+    family = "cuda"
+    decode_attention = "paged-cuda"
+    smi_style = "nvidia-smi"
+    attention_efficiency = 0.55
+
     def __init__(self, spec: DeviceSpec = A100_SPEC) -> None:
         super().__init__(spec)
         self.tensorcore = TensorCoreModel(spec)
@@ -165,31 +208,13 @@ class A100Device(Device):
         )
 
 
-_CACHE: Dict[str, Device] = {}
-
-
 def get_device(name: str, fresh: bool = False) -> Device:
-    """Return the device model for ``name``.
+    """Historical alias of :func:`repro.hw.backend.get_backend`.
 
-    Known names: "gaudi2"/"hpu", "a100"/"cuda", and "gaudi3" (the
-    projection of :mod:`repro.hw.gaudi3`).  Devices are stateless, so
-    instances are cached unless ``fresh``.
+    Accepts any registered backend key or alias ("gaudi2"/"hpu",
+    "a100"/"cuda", "h100"/"hopper", "gaudi3", ...).  Devices are
+    stateless, so instances are cached unless ``fresh``.
     """
-    if name.lower() in ("gaudi3", "gaudi-3"):
-        from repro.hw.gaudi3 import Gaudi3Device
+    from repro.hw.backend import get_backend
 
-        key = "Gaudi-3"
-        if fresh or key not in _CACHE:
-            device: Device = Gaudi3Device()
-            if fresh:
-                return device
-            _CACHE[key] = device
-        return _CACHE[key]
-    spec = get_spec(name)
-    key = spec.name
-    if fresh or key not in _CACHE:
-        device = Gaudi2Device(spec) if spec.vendor == "Intel" else A100Device(spec)
-        if fresh:
-            return device
-        _CACHE[key] = device
-    return _CACHE[key]
+    return get_backend(name, fresh=fresh)

@@ -347,13 +347,20 @@ def register_spec(name: str, spec: DeviceSpec) -> None:
 
 
 def get_spec(name: str) -> DeviceSpec:
-    """Look up a spec sheet by device name (case-insensitive)."""
-    try:
-        return _SPECS[name.lower()]
-    except KeyError:
-        raise KeyError(
-            f"unknown device {name!r}; expected one of {sorted(_SPECS)}"
-        ) from None
+    """Look up a spec sheet by device name (case-insensitive).
+
+    Names registered via :func:`register_spec` resolve directly;
+    anything else falls through to the backend registry
+    (:mod:`repro.hw.backend`), which resolves registered backends
+    lazily and raises a typed :class:`~repro.audit.errors.ConfigError`
+    with a did-you-mean hint on unknown names.
+    """
+    spec = _SPECS.get(name.lower()) if isinstance(name, str) else None
+    if spec is not None:
+        return spec
+    from repro.hw.backend import REGISTRY
+
+    return REGISTRY.spec(name)
 
 
 def spec_comparison_rows() -> List[Tuple[str, str, str, str]]:
@@ -404,4 +411,47 @@ def spec_comparison_rows() -> List[Tuple[str, str, str, str]]:
             f"{g.power.tdp_watts / a.power.tdp_watts:.1f}x",
         ),
     ]
+    return rows
+
+
+def spec_comparison_rows_for(specs: List[DeviceSpec]) -> List[Tuple[str, ...]]:
+    """Table-1 rows generalized to any comparison set.
+
+    Each row is ``(metric, value_per_spec..., ratio)``; the ratio
+    column compares every non-first spec to the first (baseline)
+    column, slash-separated when the set has more than two members.
+    For ``[A100_SPEC, GAUDI2_SPEC]`` this reproduces the classic
+    two-column :func:`spec_comparison_rows` table.
+    """
+    if not specs:
+        return []
+
+    def ratio(values: List[float]) -> str:
+        return " / ".join(f"{v / values[0]:.1f}x" for v in values[1:]) or "-"
+
+    metrics = [
+        ("TFLOPS (BF16, matrix)",
+         lambda s: s.matrix.peak(DType.BF16), lambda v: f"{v / TERA:.0f}"),
+        ("TFLOPS (BF16, vector)",
+         lambda s: s.vector.peak(DType.BF16), lambda v: f"{v / TERA:.0f}"),
+        ("HBM type", None, None),
+        ("HBM capacity (GB)",
+         lambda s: s.memory.capacity_bytes, lambda v: f"{v / GIB:.0f}"),
+        ("HBM bandwidth (TB/s)",
+         lambda s: s.memory.bandwidth, lambda v: f"{v / TERA:.2f}"),
+        ("SRAM capacity (MB)",
+         lambda s: s.memory.sram_bytes, lambda v: f"{v / MIB:.0f}"),
+        ("Communication (GB/s, bidirectional)",
+         lambda s: 2 * s.interconnect.per_device_bandwidth,
+         lambda v: f"{v / GIGA:.0f}"),
+        ("Power (Watts)",
+         lambda s: s.power.tdp_watts, lambda v: f"{v:.0f}"),
+    ]
+    rows: List[Tuple[str, ...]] = []
+    for label, extract, fmt in metrics:
+        if extract is None:  # categorical (HBM type): no ratio
+            rows.append((label, *[s.memory.hbm_type for s in specs], "-"))
+            continue
+        values = [extract(s) for s in specs]
+        rows.append((label, *[fmt(v) for v in values], ratio(values)))
     return rows

@@ -23,8 +23,10 @@ from repro.hw.device import A100Device, Device, Gaudi2Device
 from repro.hw.spec import DType
 
 #: Fraction of matrix-engine peak a fused attention kernel sustains.
-_FLASH_EFFICIENCY_A100 = 0.55
-_FUSED_SDPA_EFFICIENCY_GAUDI = 0.48
+#: These are the per-backend ``attention_efficiency`` class attributes;
+#: kept as module constants for backwards compatibility.
+_FLASH_EFFICIENCY_A100 = A100Device.attention_efficiency
+_FUSED_SDPA_EFFICIENCY_GAUDI = Gaudi2Device.attention_efficiency
 
 #: Fraction of the score matrix FusedSDPA spills through HBM when the
 #: working set exceeds the SRAM slice (graph-compiler staging).
@@ -99,10 +101,10 @@ class AttentionResult:
     memory_bound: bool
 
 
-def flash_attention_time(device: A100Device, config: AttentionConfig) -> AttentionResult:
-    """FlashAttention-2-style fused kernel on the A100."""
+def flash_attention_time(device: Device, config: AttentionConfig) -> AttentionResult:
+    """FlashAttention-style fused kernel on a CUDA-family device."""
     peak = device.spec.matrix.peak(config.dtype)
-    compute = config.flops / (peak * _FLASH_EFFICIENCY_A100)
+    compute = config.flops / (peak * device.attention_efficiency)
     traffic = config.qo_bytes + config.kv_bytes
     bw = device.spec.memory.bandwidth * device.spec.memory.stream_efficiency
     memory = traffic / bw
@@ -117,10 +119,10 @@ def flash_attention_time(device: A100Device, config: AttentionConfig) -> Attenti
     )
 
 
-def fused_sdpa_time(device: Gaudi2Device, config: AttentionConfig) -> AttentionResult:
+def fused_sdpa_time(device: Device, config: AttentionConfig) -> AttentionResult:
     """Gaudi's FusedSDPA (graph-compiler-fused attention)."""
     peak = device.spec.matrix.peak(config.dtype)
-    compute = config.flops / (peak * _FUSED_SDPA_EFFICIENCY_GAUDI)
+    compute = config.flops / (peak * device.attention_efficiency)
     score_slice = config.batch * config.q_heads * min(config.seq_q, 512) * config.seq_kv
     spills = score_slice * config.dtype.itemsize > device.spec.memory.sram_bytes
     traffic = config.qo_bytes + config.kv_bytes
@@ -145,12 +147,13 @@ def attention_time(device: Device, config: AttentionConfig) -> AttentionResult:
     ``AttentionConfig`` is frozen and hashable, so the result memoizes
     on the device's shape-keyed cache.
     """
-    if isinstance(device, Gaudi2Device):
+    family = getattr(device, "family", "")
+    if family == "gaudi":
         impl = fused_sdpa_time
-    elif isinstance(device, A100Device):
+    elif family == "cuda":
         impl = flash_attention_time
     else:
-        raise TypeError(f"unsupported device {device!r}")
+        raise TypeError(f"unsupported device {device!r} (family {family!r})")
     result = device._attention_cache.get(config)
     if result is not None:
         return result

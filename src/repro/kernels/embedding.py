@@ -218,7 +218,7 @@ class GaudiEmbeddingOperator:
         useful = config.useful_bytes
         return EmbeddingResult(
             operator=self.name,
-            device="Gaudi-2",
+            device=self.spec.name,
             config=config,
             time=time,
             launches=launches,
@@ -293,7 +293,7 @@ class A100Fbgemm:
         time = self.spec.kernel_launch_overhead + gather + store
         return EmbeddingResult(
             operator=self.name,
-            device="A100",
+            device=self.spec.name,
             config=config,
             time=time,
             launches=1,
@@ -322,4 +322,9 @@ def gaudi_embedding_operator(device: Gaudi2Device, batched: bool = True):
 
 def a100_embedding_operator(device: A100Device):
     """The A100 (FBGEMM) embedding operator."""
+    return A100Fbgemm(device.spec)
+
+
+def cuda_embedding_operator(device):
+    """The FBGEMM embedding operator for any CUDA-family backend."""
     return A100Fbgemm(device.spec)

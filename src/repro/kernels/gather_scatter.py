@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.api.compat import positional_shim
 from repro.cuda import CudaLauncher
-from repro.hw.device import A100Device, Device, Gaudi2Device
+from repro.hw.device import Device
 from repro.tpc import TpcKernelBuilder, TpcLauncher
 from repro.tpc import intrinsics
 
@@ -56,13 +56,12 @@ def reference_scatter(table: np.ndarray, indices: np.ndarray, rows: np.ndarray) 
 
 
 def _gaudi_gather_scatter(
+    device: Device,
     vector_bytes: int,
     num_accesses: int,
     is_scatter: bool,
     working_set: float,
 ) -> GatherScatterResult:
-    device = Gaudi2Device()
-
     def body(b: TpcKernelBuilder) -> None:
         for slot in range(_TPC_UNROLL):
             if is_scatter:
@@ -96,13 +95,13 @@ def _gaudi_gather_scatter(
     )
 
 
-def _a100_gather_scatter(
+def _cuda_gather_scatter(
+    device: Device,
     vector_bytes: int,
     num_accesses: int,
     is_scatter: bool,
     working_set: float,
 ) -> GatherScatterResult:
-    device = A100Device()
     launcher = CudaLauncher(device.spec)
     result = launcher.launch_gather(
         name="scatter_cuda" if is_scatter else "gather_cuda",
@@ -155,12 +154,17 @@ def run_gather_scatter(
         raise ValueError("fraction_accessed must be in (0, 1]")
     num_accesses = max(1, int(round(fraction_accessed * num_vectors)))
     working_set = float(num_accesses) * vector_bytes
-    if isinstance(device, Gaudi2Device):
-        result = _gaudi_gather_scatter(vector_bytes, num_accesses, is_scatter, working_set)
-    elif isinstance(device, A100Device):
-        result = _a100_gather_scatter(vector_bytes, num_accesses, is_scatter, working_set)
+    family = getattr(device, "family", "")
+    if family == "gaudi":
+        result = _gaudi_gather_scatter(
+            device, vector_bytes, num_accesses, is_scatter, working_set
+        )
+    elif family == "cuda":
+        result = _cuda_gather_scatter(
+            device, vector_bytes, num_accesses, is_scatter, working_set
+        )
     else:
-        raise TypeError(f"unsupported device {device!r}")
+        raise TypeError(f"unsupported device {device!r} (family {family!r})")
     if ctx is not None:
         if ctx.tracer is not None:
             ctx.tracer.record_sequential(

@@ -256,7 +256,7 @@ def vllm_base_paged_attention(
     time = gather_time + gemm_time + overhead
     return PagedAttentionResult(
         implementation="vllm-base",
-        device="Gaudi-2",
+        device=spec.name,
         config=config,
         time=time,
         gather_time=gather_time,
@@ -286,7 +286,7 @@ def vllm_opt_paged_attention(
     time = busy + overhead
     return PagedAttentionResult(
         implementation="vllm-opt",
-        device="Gaudi-2",
+        device=spec.name,
         config=config,
         time=time,
         gather_time=gather_time,
@@ -306,7 +306,7 @@ def a100_paged_attention(
     overhead = spec.kernel_launch_overhead
     return PagedAttentionResult(
         implementation="cuda-paged-attention",
-        device="A100",
+        device=spec.name,
         config=config,
         time=busy + overhead,
         gather_time=read,

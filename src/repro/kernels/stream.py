@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.api.compat import positional_shim
 from repro.cuda import CudaLauncher
-from repro.hw.device import A100Device, Device, Gaudi2Device
+from repro.hw.device import Device
 from repro.hw.spec import DType
 from repro.tpc import TpcKernelBuilder, TpcLauncher
 from repro.tpc.builder import MAX_ACCESS_BYTES
@@ -97,6 +97,7 @@ def reference_result(op: StreamOp, a: np.ndarray, b: Optional[np.ndarray] = None
 
 
 def _gaudi_stream(
+    device: Device,
     op: StreamOp,
     num_elements: int,
     access_bytes: int,
@@ -106,7 +107,6 @@ def _gaudi_stream(
     compute_chain: int,
 ) -> StreamResult:
     """Build and launch the TPC-C STREAM kernel."""
-    device = Gaudi2Device()
     elements_per_access = max(1, access_bytes // dtype.itemsize)
 
     def body(b: TpcKernelBuilder) -> None:
@@ -161,14 +161,14 @@ def _gaudi_stream(
     )
 
 
-def _a100_stream(
+def _cuda_stream(
+    device: Device,
     op: StreamOp,
     num_elements: int,
     num_sms: Optional[int],
     dtype: DType,
     compute_chain: int,
 ) -> StreamResult:
-    device = A100Device()
     launcher = CudaLauncher(device.spec)
     result = launcher.launch_stream(
         name=f"{op.value}_cuda",
@@ -230,14 +230,16 @@ def run_stream(
         raise ValueError("num_elements must be positive")
     if compute_chain <= 0:
         raise ValueError("compute_chain must be positive")
-    if isinstance(device, Gaudi2Device):
+    family = getattr(device, "family", "")
+    if family == "gaudi":
         result = _gaudi_stream(
-            op, num_elements, access_bytes, unroll, num_cores, dtype, compute_chain
+            device, op, num_elements, access_bytes, unroll, num_cores, dtype,
+            compute_chain,
         )
-    elif isinstance(device, A100Device):
-        result = _a100_stream(op, num_elements, num_cores, dtype, compute_chain)
+    elif family == "cuda":
+        result = _cuda_stream(device, op, num_elements, num_cores, dtype, compute_chain)
     else:
-        raise TypeError(f"unsupported device {device!r}")
+        raise TypeError(f"unsupported device {device!r} (family {family!r})")
     if ctx is not None:
         if ctx.tracer is not None:
             ctx.tracer.record_sequential(

@@ -26,7 +26,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.hw.device import A100Device, Device, Gaudi2Device
+from repro.hw.device import Device
 from repro.hw.power import ActivityAccumulator, PowerModel
 from repro.hw.spec import DType
 from repro.kernels.elementwise import elementwise_cost, relu
@@ -142,12 +142,13 @@ class DlrmCostModel:
     def __init__(self, config: DlrmConfig, device: Device) -> None:
         self.config = config
         self.device = device
-        if isinstance(device, Gaudi2Device):
+        family = getattr(device, "family", "")
+        if family == "gaudi":
             self.embedding_op = GaudiBatchedTable(device.spec)
-        elif isinstance(device, A100Device):
+        elif family == "cuda":
             self.embedding_op = A100Fbgemm(device.spec)
         else:
-            raise TypeError(f"unsupported device {device!r}")
+            raise TypeError(f"unsupported device {device!r} (family {family!r})")
 
     # -- pieces ------------------------------------------------------------
     def _gemm(self, acc: ActivityAccumulator, m: int, k: int, n: int) -> float:
@@ -195,7 +196,7 @@ class DlrmCostModel:
             # The single-threaded TPCs actively spin issuing gathers for
             # the whole phase; GPU warps mostly stall on memory, so the
             # SIMD cores draw far less dynamic power during lookups.
-            issue_activity = 1.0 if isinstance(self.device, Gaudi2Device) else 0.35
+            issue_activity = 1.0 if self.device.family == "gaudi" else 0.35
             acc.add_vector(result.time * issue_activity)
         return result.time
 

@@ -45,6 +45,16 @@ class DecodeAttention(enum.Enum):
     PAGED_CUDA = "paged-cuda"  # vLLM's native CUDA kernel
 
 
+def default_decode_attention(device) -> "DecodeAttention":
+    """The decode-attention path a backend's serving stack defaults to.
+
+    Reads the backend's ``decode_attention`` capability string (part of
+    the :class:`repro.hw.backend.Backend` protocol), so any registered
+    platform -- not just the original pair -- picks its natural kernel.
+    """
+    return DecodeAttention(getattr(device, "decode_attention", "paged-opt"))
+
+
 @dataclass(frozen=True)
 class LlamaConfig:
     """Decoder configuration (Table 3 of the paper)."""

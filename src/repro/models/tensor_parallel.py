@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.audit import get_auditor
-from repro.comm import CollectiveLibrary, HcclLibrary, NcclLibrary
-from repro.hw.device import A100Device, Device, Gaudi2Device
+from repro.comm import CollectiveLibrary
+from repro.hw.device import Device
 
 
 @dataclass
@@ -49,11 +49,10 @@ class TensorParallelConfig:
     def for_device(cls, device: Device, degree: int) -> "TensorParallelConfig":
         if degree == 1:
             return cls(degree=1, library=None)
-        if isinstance(device, Gaudi2Device):
-            return cls(degree=degree, library=HcclLibrary())
-        if isinstance(device, A100Device):
-            return cls(degree=degree, library=NcclLibrary())
-        raise TypeError(f"unsupported device {device!r}")
+        # Every backend names its own fabric library (Backend protocol).
+        if not hasattr(device, "collective_library"):
+            raise TypeError(f"unsupported device {device!r}")
+        return cls(degree=degree, library=device.collective_library())
 
     def shard(self, size: int, what: str = "dimension") -> int:
         """Split a sharded dimension, validating divisibility."""

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.comm import NcclLibrary
-from repro.hw.device import A100Device, Device, Gaudi2Device
+from repro.hw.device import Device
 from repro.hw.power import ActivityAccumulator, PowerModel
 from repro.models.dlrm import DlrmConfig, DlrmCostModel
 
@@ -67,10 +67,11 @@ class TorchRecShardedDlrm:
     """Table-wise sharded DLRM over a DGX A100 node."""
 
     def __init__(self, config: DlrmConfig, device: Device, num_devices: int) -> None:
-        if isinstance(device, Gaudi2Device):
+        family = getattr(device, "family", "")
+        if family == "gaudi":
             gaudi_multi_device_recsys(config, num_devices)
-        if not isinstance(device, A100Device):
-            raise TypeError(f"unsupported device {device!r}")
+        if family != "cuda":
+            raise TypeError(f"unsupported device {device!r} (family {family!r})")
         if not 2 <= num_devices <= 8:
             raise ValueError("num_devices must be in [2, 8] for one DGX node")
         self.config = config

@@ -11,7 +11,7 @@ The paper's methodology leans on three tools we model here:
 """
 
 from repro.tools.profiler import GaudiProfiler, ProfiledOp, chrome_trace
-from repro.tools.smi import SmiSample, hl_smi, nvidia_smi
+from repro.tools.smi import SmiSample, hl_smi, nvidia_smi, smi
 
 __all__ = [
     "GaudiProfiler",
@@ -20,4 +20,5 @@ __all__ = [
     "chrome_trace",
     "hl_smi",
     "nvidia_smi",
+    "smi",
 ]

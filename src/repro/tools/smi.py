@@ -65,3 +65,15 @@ def nvidia_smi(activity: ActivityProfile, spec: DeviceSpec = A100_SPEC) -> SmiSa
     if spec.vendor != "NVIDIA":
         raise ValueError("nvidia-smi reads NVIDIA devices; use hl_smi for Gaudi")
     return _sample(spec, activity)
+
+
+def smi(device, activity: ActivityProfile) -> SmiSample:
+    """Backend-dispatched readout: whichever smi the platform ships.
+
+    Reads the backend's ``smi_style`` capability ("hl-smi" or
+    "nvidia-smi"), so any registered backend renders its native tool's
+    output without callers branching on vendor.
+    """
+    style = getattr(device, "smi_style", "hl-smi")
+    impl = hl_smi if style == "hl-smi" else nvidia_smi
+    return impl(activity, device.spec)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.audit.errors import ConfigError
 from repro.hw.device import A100Device, Gaudi2Device, get_device
 
 
@@ -16,9 +17,17 @@ class TestFactory:
     def test_fresh_returns_new_instance(self):
         assert get_device("a100", fresh=True) is not get_device("a100", fresh=True)
 
-    def test_unknown_raises(self):
-        with pytest.raises(KeyError):
+    def test_unknown_raises_typed_config_error(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
             get_device("mi300")
+
+    def test_unknown_lists_registered_backends(self):
+        with pytest.raises(ConfigError, match="gaudi2"):
+            get_device("mi300")
+
+    def test_typo_gets_did_you_mean(self):
+        with pytest.raises(ConfigError, match="did you mean 'gaudi2'"):
+            get_device("guadi2")
 
 
 class TestCommonInterface:

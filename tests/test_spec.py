@@ -98,8 +98,14 @@ class TestLookup:
     def test_a100_aliases(self, alias):
         assert get_spec(alias).name == "A100"
 
-    def test_unknown_device_raises(self):
-        with pytest.raises(KeyError, match="unknown device"):
+    def test_unknown_device_raises_typed_config_error(self):
+        from repro.audit.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown backend"):
+            get_spec("tpu")
+
+    def test_unknown_device_is_still_a_value_error(self):
+        with pytest.raises(ValueError):
             get_spec("tpu")
 
 
