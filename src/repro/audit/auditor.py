@@ -240,6 +240,72 @@ class Auditor:
             f"blocks still allocated",
         )
 
+    # -- vectorized engine core ---------------------------------------
+    def check_core_invariants(self, core) -> None:
+        """Vectorized invariant sweep over a fast-path
+        :class:`~repro.serving.engine_core.EngineCore`.
+
+        The scalar engine audits through per-object hooks; the
+        struct-of-arrays fast path has no per-token object traffic, so
+        its invariants are asserted directly on the slot arrays: cheap
+        shadow-KV block conservation every call, plus a sampled deep
+        scan for slot aliasing and per-slot state legality.
+        """
+        import numpy as np
+
+        held = 0
+        if core.run_slots:
+            slots = np.asarray(core.run_slots, dtype=np.intp)
+            context = core.input_tokens[slots] + core.generated[slots] - 1
+            held = int(
+                np.sum(-(-context // core.block_size))
+            )
+        self.check(
+            core.free_blocks + held == core.num_blocks,
+            KvConservationError,
+            f"shadow block conservation broken: {core.free_blocks} free + "
+            f"{held} held != {core.num_blocks} total",
+        )
+        if not self._deep_gate.fire():
+            return
+        self.checks[LifecycleError.check] += 1
+        live = core.run_slots + core.waiting_slots()
+        if len(set(live)) != len(live):
+            self.record_violation(LifecycleError(
+                "engine core: a slot id appears twice in the live set"
+            ))
+        free = set(core.free_slots)
+        aliased = free.intersection(live)
+        if aliased:
+            self.record_violation(LifecycleError(
+                f"engine core: slots {sorted(aliased)[:8]} are simultaneously "
+                "free and live"
+            ))
+        if live:
+            slots = np.asarray(live, dtype=np.intp)
+            over = core.generated[slots] > core.output_tokens[slots]
+            if bool(np.any(over)):
+                bad = slots[over][:8].tolist()
+                self.record_violation(TokenConservationError(
+                    f"engine core: slots {bad} generated past their output "
+                    "budget"
+                ))
+            started = ~np.isnan(core.first_token[slots])
+            unstarted_with_tokens = (core.generated[slots] > 0) & ~started
+            if bool(np.any(unstarted_with_tokens)):
+                bad = slots[unstarted_with_tokens][:8].tolist()
+                self.record_violation(LifecycleError(
+                    f"engine core: slots {bad} hold tokens without a "
+                    "first-token timestamp"
+                ))
+        waiting = core.waiting_slots()
+        if waiting:
+            arrivals = core.arrival[np.asarray(waiting, dtype=np.intp)]
+            if bool(np.any(arrivals[1:] < arrivals[:-1])):
+                self.record_violation(LifecycleError(
+                    "engine core: waiting queue is not arrival-sorted"
+                ))
+
     # -- collectives ---------------------------------------------------
     def check_collective(
         self, seconds: float, size_bytes: float, participants: int, degree: int

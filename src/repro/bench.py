@@ -56,6 +56,10 @@ BEFORE_SECONDS: Dict[str, float] = {
     "fig12_serving": 0.331,
     "fig17_serving": 3.528,
     "serve_256": 0.442,
+    # Scalar-engine (pre-vectorization) streaming runs, measured with
+    # REPRO_ENGINE=scalar on the same machine as the entries above.
+    "serve_50k": 22.545,
+    "serve_1m": 549.22,
 }
 
 
@@ -123,6 +127,46 @@ def _serve_case(fast: bool) -> None:
     _serving_run(64 if fast else 256)
 
 
+def _streaming_run(num_requests: int) -> None:
+    """Streaming release-mode serve: lazy arrivals, folded aggregates.
+
+    Requests and Poisson arrival stamps are generated lazily and every
+    terminal request folds into constant-size aggregates
+    (``retain_requests=False``), so peak memory is O(live slots)
+    however large ``num_requests`` is -- the million-request
+    configuration of EXPERIMENTS.md runs through this exact path.
+    """
+    from repro.hw.device import get_device
+    from repro.models.llama import (
+        LLAMA_3_1_8B,
+        LlamaCostModel,
+        default_decode_attention,
+    )
+    from repro.serving import LlmServingEngine, iter_dynamic_sonnet_requests
+    from repro.serving.loadgen import poisson_arrivals
+
+    device = get_device(_BENCH_BACKEND)
+    engine = LlmServingEngine(
+        LlamaCostModel(LLAMA_3_1_8B, device),
+        default_decode_attention(device),
+        max_decode_batch=64,
+        retain_requests=False,
+    )
+    # Just under the engine's sustainable rate, so the decode batch
+    # stays full while the waiting buffer stays bounded.
+    engine.run(poisson_arrivals(
+        iter_dynamic_sonnet_requests(num_requests, seed=0), 11.0, seed=0
+    ))
+
+
+def _serve_50k(fast: bool) -> None:
+    _streaming_run(5_000 if fast else 50_000)
+
+
+def _serve_1m(_fast: bool) -> None:
+    _streaming_run(1_000_000)
+
+
 def _chaos_load(fast: bool) -> None:
     from repro.faults import ChaosConfig, FaultPlan, run_chaos
 
@@ -155,6 +199,9 @@ CASES: List[BenchCase] = [
     BenchCase("fig12_serving", "Figure 12 LLM serving sweep", _fig12_serving),
     BenchCase("fig17_serving", "Figure 17 vLLM batch sweep", _fig17_serving),
     BenchCase("serve_256", "direct serving-engine run", _serve_case),
+    BenchCase("serve_50k", "streaming release-mode serve", _serve_50k),
+    BenchCase("serve_1m", "million-request streaming serve", _serve_1m,
+              in_fast_mode=False),
     BenchCase("chaos_load", "fault-injected load test", _chaos_load),
     BenchCase("reproduce_full", "generate_all(fast=False)", _reproduce_full,
               in_fast_mode=False),

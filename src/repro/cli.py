@@ -336,6 +336,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
     print()
     print("Cost-model caches (shape-keyed memoization):")
     print(memo.render_stats())
+    from repro.serving import engine_core
+
+    print()
+    print("Vectorized engine core:")
+    print(engine_core.render_counters())
     from repro.audit import get_auditor
 
     auditor = get_auditor()

@@ -217,7 +217,7 @@ class Node:
         so the gateway can fail them over."""
         self.dead = True
         self.crashes += 1
-        victims = self.engine.scheduler.fail_all(f"outage: node {self.name} crashed")
+        victims = self.engine.fail_all(f"outage: node {self.name} crashed")
         self.inflight = []
         return victims
 
@@ -270,7 +270,7 @@ class Node:
             RequestState.FINISHED, RequestState.SHED, RequestState.FAILED
         ):
             return False
-        self.engine.scheduler.shed(request, reason)
+        self.engine.cancel(request, reason)
         return True
 
     def advance_to(self, horizon: float) -> float:

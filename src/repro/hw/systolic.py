@@ -134,18 +134,24 @@ def best_geometry(
     models the power-gating preference observed for the gray configs in
     Figure 7(a).
     """
-    best: Tuple[SystolicGeometry, SystolicTiming] | None = None
+    if min(m, k, n) <= 0:
+        raise ValueError(f"GEMM dims must be positive, got {(m, k, n)}")
+    # Hot path (every uncached GEMM estimate walks the whole geometry
+    # list): compare raw cycle counts inline and only materialize the
+    # SystolicTiming for the winner.
+    best_geo: SystolicGeometry | None = None
+    best_cycles = 0.0
+    best_macs = 0
     for geo in geometries:
-        timing = SystolicArray(geo, clock_hz=1.0).gemm_timing(m, k, n)
+        tiles = math.ceil(m / geo.height) * math.ceil(n / geo.width)
+        cycles = math.ceil(tiles / geo.engines) * k + geo.height + geo.width
+        macs = geo.height * geo.width * geo.engines
         if (
-            best is None
-            or timing.cycles < best[1].cycles - 1e-9
-            or (
-                abs(timing.cycles - best[1].cycles) <= 1e-9
-                and geo.active_macs < best[0].active_macs
-            )
+            best_geo is None
+            or cycles < best_cycles - 1e-9
+            or (abs(cycles - best_cycles) <= 1e-9 and macs < best_macs)
         ):
-            best = (geo, timing)
-    if best is None:
+            best_geo, best_cycles, best_macs = geo, cycles, macs
+    if best_geo is None:
         raise ValueError("no geometries supplied")
-    return best
+    return best_geo, SystolicArray(best_geo, clock_hz=1.0).gemm_timing(m, k, n)

@@ -33,7 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.graph.pipeliner import pipelined_duration
+from repro.graph.pipeliner import SLICE_OVERHEAD, pipelined_duration
 from repro.hw.spec import A100_SPEC, GAUDI2_SPEC, DeviceSpec, DType
 
 #: Tokens per KV cache block (the vLLM default for Gaudi).
@@ -314,6 +314,69 @@ def a100_paged_attention(
         overhead=overhead,
         pipelined=True,
     )
+
+
+# ----------------------------------------------------------------------
+def build_paged_time_fn(implementation: str, batch: int, spec: DeviceSpec, dtype: DType):
+    """Closed-form twin of one paged-attention cost function.
+
+    Returns ``fn(kv_bytes, padded_kv_bytes, gemm_flops) -> (time,
+    gather_time)`` with every spec-derived constant folded at build
+    time.  The vectorized serving engine prices millions of decode
+    steps through these closures, so they must stay bit-identical to
+    the corresponding ``*_paged_attention`` call: each arithmetic
+    expression below keeps the operand association of its twin, and
+    folded constants are only subexpressions the twin also evaluates
+    as a unit (``bw * efficiency``, ``peak * 0.48``, ...).
+    """
+    if implementation == "vllm-base":
+        stream_bw = spec.memory.bandwidth * spec.memory.stream_efficiency
+        launch = spec.kernel_launch_overhead
+        per_core_bw = spec.vector.per_core_stream_bw
+        matrix_peak = spec.matrix.peak(dtype) * 0.48
+        dispatch = spec.graph_dispatch_overhead
+
+        def base_fn(kv_bytes: float, padded_kv_bytes: float, gemm_flops: float):
+            per_request_bytes = padded_kv_bytes / batch
+            gather_time = batch * (launch + per_request_bytes / per_core_bw)
+            sdpa_read = padded_kv_bytes / stream_bw
+            compute = gemm_flops / matrix_peak
+            gemm_time = max(sdpa_read, compute)
+            return gather_time + gemm_time + dispatch, gather_time
+
+        return base_fn
+    if implementation == "vllm-opt":
+        bw = spec.memory.bandwidth
+        stream_bw = bw * spec.memory.stream_efficiency
+        gather_bw = bw * _OPT_GATHER_EFFICIENCY
+        matrix_peak = spec.matrix.peak(dtype) * 0.48
+        overhead = spec.kernel_launch_overhead + spec.graph_dispatch_overhead
+        slice_cost = _OPT_SLICES * SLICE_OVERHEAD
+
+        def opt_fn(kv_bytes: float, padded_kv_bytes: float, gemm_flops: float):
+            gemm_read = kv_bytes / stream_bw
+            gather_time = kv_bytes / gather_bw + gemm_read
+            gemm_time = max(gemm_read, gemm_flops / matrix_peak)
+            busy = (
+                max(gather_time, gemm_time)
+                + min(gather_time, gemm_time) / _OPT_SLICES
+                + slice_cost
+            )
+            return busy + overhead, gather_time
+
+        return opt_fn
+    if implementation == "cuda-paged-attention":
+        read_bw = spec.memory.bandwidth * _A100_PAGED_EFFICIENCY
+        matrix_peak = spec.matrix.peak(dtype) * 0.50
+        launch = spec.kernel_launch_overhead
+
+        def a100_fn(kv_bytes: float, padded_kv_bytes: float, gemm_flops: float):
+            read = kv_bytes / read_bw
+            busy = max(read, gemm_flops / matrix_peak)
+            return busy + launch, read
+
+        return a100_fn
+    raise ValueError(f"unknown paged-attention implementation {implementation!r}")
 
 
 # ----------------------------------------------------------------------

@@ -11,8 +11,9 @@ implementations (the vLLM setup of Section 4.2).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.core.memo import CostCache
 from repro.hw.device import Device
@@ -24,6 +25,7 @@ from repro.kernels.paged_attention import (
     DEFAULT_BLOCK_SIZE,
     PagedAttentionStats,
     a100_paged_attention,
+    build_paged_time_fn,
     vllm_base_paged_attention,
     vllm_opt_paged_attention,
 )
@@ -34,6 +36,78 @@ _LAYER_DISPATCH = 1.5e-6
 
 #: Per-layer dispatch overhead in eager mode (per-op host launches).
 _LAYER_DISPATCH_EAGER = 45e-6
+
+
+class _StepperCache(CostCache):
+    """Closure-valued :class:`CostCache` without memo-equivalence
+    sampling: two independently compiled steppers are bit-identical in
+    what they compute but never compare equal as objects, so the
+    recompute-and-compare audit would always flag a false mismatch.
+    Registry membership (``clear_caches`` / ``cache_stats``) and the
+    LRU bound are inherited."""
+
+    def get(self, key):
+        from repro.core import memo
+
+        if not memo.memoization_enabled():
+            return None
+        data = self._data
+        value = data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        from repro.core import memo
+
+        if not memo.memoization_enabled():
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            data[key] = value
+            return
+        if len(data) >= self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+        data[key] = value
+
+
+#: Cross-instance compiled decode steppers: fleet and figure sweeps
+#: build many short-lived engines over the same (device, config) pair,
+#: and a drained batch walks every batch size down to 1 -- sharing the
+#: compiled closures turns those rebuilds into dictionary hits.
+_SHARED_STEPPERS = _StepperCache("llama.decode_stepper", maxsize=4096)
+
+#: Cross-instance phase-estimate caches, keyed by the same pricing
+#: identity as the shared steppers (device singleton, frozen config,
+#: graphs/bucket knobs; tensor-parallel models stay instance-private
+#: because their collective library is not part of the key).  The dict
+#: holds strong references so ``clear_caches`` keeps finding them after
+#: the models that created them are gone.
+_SHARED_PHASE_CACHES: dict = {}
+
+
+def _phase_caches(device, config, use_graphs: bool, static_bucket: int):
+    """The (prefill, decode-terms, decode-attn) caches for one pricing
+    identity, created on first use and shared by every later model with
+    the same identity."""
+    key = (device, config, use_graphs, static_bucket)
+    caches = _SHARED_PHASE_CACHES.get(key)
+    if caches is None:
+        label = f"{device.name}/{config.name}"
+        if not use_graphs or static_bucket != 1:
+            label += f"/graphs={use_graphs}/bucket={static_bucket}"
+        caches = (
+            CostCache(f"llama.prefill[{label}]", maxsize=2048),
+            CostCache(f"llama.decode_terms[{label}]", maxsize=1024),
+            CostCache(f"llama.decode_attn[{label}]", maxsize=8192),
+        )
+        _SHARED_PHASE_CACHES[key] = caches
+    return caches
 
 
 class DecodeAttention(enum.Enum):
@@ -266,10 +340,25 @@ class LlamaCostModel:
         # Shape-keyed memo caches over the phase estimates.  Cached
         # PhaseEstimates are shared between calls, so callers must
         # treat them (and their activity accumulators) as read-only.
-        label = f"{device.name}/{config.name}"
-        self._prefill_cache = CostCache(f"llama.prefill[{label}]", maxsize=2048)
-        self._decode_terms_cache = CostCache(f"llama.decode_terms[{label}]", maxsize=1024)
-        self._decode_attn_cache = CostCache(f"llama.decode_attn[{label}]", maxsize=8192)
+        # Tensor-parallel degree 1 shares the cache *instances* across
+        # models with the same pricing identity (sweeps and fleets
+        # build many short-lived models over few device/config pairs).
+        if self.tp.degree == 1:
+            (
+                self._prefill_cache,
+                self._decode_terms_cache,
+                self._decode_attn_cache,
+            ) = _phase_caches(device, config, use_graphs, static_bucket)
+        else:
+            label = f"{device.name}/{config.name}/tp={self.tp.degree}"
+            self._prefill_cache = CostCache(f"llama.prefill[{label}]", maxsize=2048)
+            self._decode_terms_cache = CostCache(f"llama.decode_terms[{label}]", maxsize=1024)
+            self._decode_attn_cache = CostCache(f"llama.decode_attn[{label}]", maxsize=8192)
+        # Compiled per-(attention, batch) step closures for the
+        # vectorized engine core; pure in the aggregates, so a plain
+        # dict (no audit interplay) is sound.  Cross-instance reuse goes
+        # through _SHARED_STEPPERS (see decode_stepper).
+        self._stepper_cache: dict = {}
 
     @property
     def _layer_dispatch(self) -> float:
@@ -559,6 +648,199 @@ class LlamaCostModel:
         acc.add_memory(paged.kv_bytes / self.device.peak_bandwidth)
         acc.add_vector(min(result.gather_time, result.time))
         return result.time
+
+    # -- vectorized-engine fast path ---------------------------------------
+    def _shared_stepper_key(
+        self, attention: "DecodeAttention", batch: int, block_size: int
+    ):
+        """Cross-instance cache key, or None when the model cannot share.
+
+        A compiled stepper depends only on the device (an identity-
+        hashable cached singleton), the frozen config, the graphs/bucket
+        tuning knobs, and the call shape -- provided there is no tensor
+        parallelism (a TP library's collective costs are not part of
+        the key, so sharded models keep instance-private caches).
+        """
+        if self.tp.degree != 1:
+            return None
+        return (
+            self.device, self.config, self.use_graphs, self.static_bucket,
+            attention, batch, block_size,
+        )
+
+    def decode_stepper(
+        self,
+        batch: int,
+        attention: DecodeAttention,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> Callable[[int, int, int, ActivityAccumulator], float]:
+        """Compile a one-decode-step pricing closure for a fixed batch.
+
+        The returned ``stepper(total_context, total_blocks, max_context,
+        acc)`` adds one step's activity directly into ``acc`` and
+        returns the step time, bit-identical to
+        ``decode_step_stats(...)`` followed by an
+        ``ActivityAccumulator.merge`` -- the vectorized serving engine
+        calls it once per virtual step, so everything that does not
+        depend on the context aggregates is folded at build time.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        if not self._memo_ok:
+            raise RuntimeError(
+                "decode_stepper requires a memoizable config (no observed "
+                "metrics, no degraded topology); use decode_step_stats"
+            )
+        key = (attention, batch, block_size)
+        stepper = self._stepper_cache.get(key)
+        if stepper is not None:
+            return stepper
+        shared_key = self._shared_stepper_key(attention, batch, block_size)
+        if shared_key is not None:
+            stepper = _SHARED_STEPPERS.get(shared_key)
+        if stepper is None:
+            stepper = self._build_stepper(batch, attention, block_size)
+            if shared_key is not None:
+                _SHARED_STEPPERS.put(shared_key, stepper)
+        self._stepper_cache[key] = stepper
+        return stepper
+
+    def _build_stepper(
+        self, batch: int, attention: DecodeAttention, block_size: int
+    ) -> Callable[[int, int, int, ActivityAccumulator], float]:
+        terms = self._decode_terms(batch)
+        layers = self.config.num_layers
+        lm_time, lm_acc = terms[9]
+
+        def fields(acc: ActivityAccumulator) -> Tuple[float, float, float, float]:
+            return (
+                acc.matrix_seconds, acc.matrix_active_weighted,
+                acc.vector_seconds, acc.memory_seconds,
+            )
+
+        # The scalar assembly starts every sum at 0.0 and adds ln1 then
+        # qkv before the attention term, so that prefix folds into one
+        # constant without changing any rounding.
+        pre_t = 0.0 + terms[0][0] + terms[1][0]
+        pre_m, pre_w, pre_v, pre_mem = (
+            0.0 + x + y for x, y in zip(fields(terms[0][1]), fields(terms[1][1]))
+        )
+        # Post-attention terms land after the varying attention value,
+        # so each stays an individual addition; zero terms are skipped
+        # (x + 0.0 == x bitwise for the non-negative partials here).
+        suf_t = tuple(t for t, _ in terms[2:9] if t != 0.0) + (self._layer_dispatch,)
+        suf_m, suf_w, suf_v, suf_mem = (
+            tuple(v for v in (fields(a)[i] for _, a in terms[2:9]) if v != 0.0)
+            for i in range(4)
+        )
+        # The attention term never carries comm time, so the whole comm
+        # chain (prefix, suffix, unscaled LM-head merge) is one constant.
+        comm_step = 0.0 + terms[0][1].comm_seconds + terms[1][1].comm_seconds
+        for _, acc in terms[2:9]:
+            if acc.comm_seconds != 0.0:
+                comm_step = comm_step + acc.comm_seconds
+        comm_step = comm_step + lm_acc.comm_seconds
+        lm_m, lm_w, lm_v, lm_mem = fields(lm_acc)
+        attn_term = self._build_attention_term(batch, attention, block_size)
+
+        def stepper(
+            total_context: int, total_blocks: int, max_context: int,
+            acc: ActivityAccumulator,
+        ) -> float:
+            a_t, a_m, a_w, a_v, a_mem = attn_term(
+                total_context, total_blocks, max_context
+            )
+            t = pre_t + a_t
+            for c in suf_t:
+                t += c
+            t *= layers
+            t += lm_time
+            m = pre_m + a_m
+            for c in suf_m:
+                m += c
+            m *= layers
+            m += lm_m
+            acc.matrix_seconds += m
+            w = pre_w + a_w
+            for c in suf_w:
+                w += c
+            w *= layers
+            w += lm_w
+            acc.matrix_active_weighted += w
+            v = pre_v + a_v
+            for c in suf_v:
+                v += c
+            v *= layers
+            v += lm_v
+            acc.vector_seconds += v
+            mem = pre_mem + a_mem
+            for c in suf_mem:
+                mem += c
+            mem *= layers
+            mem += lm_mem
+            acc.memory_seconds += mem
+            acc.comm_seconds += comm_step
+            return t
+
+        return stepper
+
+    def _build_attention_term(
+        self, batch: int, attention: DecodeAttention, block_size: int
+    ) -> Callable[[int, int, int], Tuple[float, float, float, float, float]]:
+        """Closure pricing the decode-attention term from aggregates:
+        ``(total_context, total_blocks, max_context) -> (time, matrix,
+        matrix_weighted, vector, memory)``, bit-identical to
+        :meth:`_decode_attention_uncached`."""
+        cfg, tp = self.config, self.tp
+        spec = self.device.spec
+        kv_heads = max(1, cfg.kv_heads // tp.degree)
+        q_heads = cfg.q_heads // tp.degree
+        hd = cfg.head_dim
+        itemsize = cfg.dtype.itemsize
+        peak_bw = self.device.peak_bandwidth
+        if attention is DecodeAttention.STATIC:
+            bucket = self.static_bucket
+            stream_bw = spec.memory.bandwidth * spec.memory.stream_efficiency
+            dtype_peak = spec.matrix.peak(cfg.dtype)
+            # Folded prefixes of the twin's products; both are exact
+            # integer-valued floats, so any association gives the same
+            # bits as the twin's left-to-right chain.
+            kv_coeff = 2.0 * batch * kv_heads * hd
+            flops_coeff = 4.0 * batch * q_heads
+
+            def static_term(total_context: int, total_blocks: int, max_context: int):
+                padded_len = ((max_context + bucket - 1) // bucket) * bucket
+                kv_bytes = kv_coeff * padded_len * itemsize
+                time = kv_bytes / stream_bw
+                mem = kv_bytes / peak_bw
+                flops = flops_coeff * padded_len * hd
+                mt = flops / dtype_peak
+                return time, mt, mt * 0.5, 0.0, mem
+
+            return static_term
+        implementation = {
+            DecodeAttention.PAGED_BASE: "vllm-base",
+            DecodeAttention.PAGED_OPT: "vllm-opt",
+            DecodeAttention.PAGED_CUDA: "cuda-paged-attention",
+        }.get(attention)
+        if implementation is None:
+            raise ValueError(f"unknown decode attention {attention!r}")
+        time_fn = build_paged_time_fn(implementation, batch, spec, cfg.dtype)
+        block_bytes = 2 * kv_heads * hd * block_size * itemsize
+        flops_coeff = 4.0 * q_heads * hd  # exact prefix of the flops chain
+        needs_padded = attention is DecodeAttention.PAGED_BASE
+
+        def paged_term(total_context: int, total_blocks: int, max_context: int):
+            kv_bytes = float(total_blocks) * block_bytes
+            flops = flops_coeff * total_context
+            padded = (
+                float(batch * math.ceil(max_context / block_size)) * block_bytes
+                if needs_padded else 0.0
+            )
+            time, gather_time = time_fn(kv_bytes, padded, flops)
+            return time, 0.0, 0.0, min(gather_time, time), kv_bytes / peak_bw
+
+        return paged_term
 
     # -- end-to-end --------------------------------------------------------
     def generate(

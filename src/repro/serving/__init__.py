@@ -18,7 +18,11 @@
 """
 
 from repro.serving.capacity import CapacityReport, compare_capacity
-from repro.serving.dataset import dynamic_sonnet_requests, fixed_length_requests
+from repro.serving.dataset import (
+    dynamic_sonnet_requests,
+    fixed_length_requests,
+    iter_dynamic_sonnet_requests,
+)
 from repro.serving.engine import (
     FaultStats,
     LlmServingEngine,
@@ -61,4 +65,5 @@ __all__ = [
     "ServingReport",
     "dynamic_sonnet_requests",
     "fixed_length_requests",
+    "iter_dynamic_sonnet_requests",
 ]

@@ -13,7 +13,7 @@ Two generators mirror the paper's two serving setups:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List
 
 import numpy as np
 
@@ -59,3 +59,51 @@ def dynamic_sonnet_requests(num_requests: int, seed: int = 0) -> List[Request]:
         Request(request_id=i, input_tokens=int(inputs[i]), output_tokens=int(outputs[i]))
         for i in range(num_requests)
     ]
+
+
+#: Fixed RNG block size for the streaming generator.  Samples are drawn
+#: one block at a time, so peak memory is O(_STREAM_CHUNK) no matter how
+#: long the trace is, and the stream is a pure function of ``seed``.
+_STREAM_CHUNK = 4096
+
+
+def iter_dynamic_sonnet_requests(
+    num_requests: int, seed: int = 0
+) -> Iterator[Request]:
+    """Lazily yield Dynamic-Sonnet-like requests in bounded chunks.
+
+    The streaming twin of :func:`dynamic_sonnet_requests` for
+    million-request runs: length samples are drawn a fixed-size block
+    at a time so peak memory stays constant regardless of
+    ``num_requests``.  Each block gets its own
+    :class:`numpy.random.SeedSequence` child stream, which makes the
+    stream a prefix-stable function of ``seed`` alone (the first k
+    requests are identical for any ``num_requests >= k``) *but* a
+    distinct stream from the list variant -- the two are statistically
+    matched, not request-for-request identical.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    chunk = _STREAM_CHUNK
+    root = np.random.SeedSequence(seed)
+    next_id = 0
+    for child in root.spawn(-(-num_requests // chunk)):
+        rng = np.random.default_rng(child)
+        count = min(chunk, num_requests - next_id)
+        # Always draw full blocks so a short final block yields the
+        # same prefix as a longer trace would.
+        inputs = np.exp(
+            rng.normal(np.log(_SONNET_INPUT_MEDIAN), _SONNET_INPUT_SIGMA, chunk)
+        )[:count]
+        outputs = np.exp(
+            rng.normal(np.log(_SONNET_OUTPUT_MEDIAN), _SONNET_OUTPUT_SIGMA, chunk)
+        )[:count]
+        inputs = np.clip(inputs, *_SONNET_INPUT_RANGE).astype(int)
+        outputs = np.clip(outputs, *_SONNET_OUTPUT_RANGE).astype(int)
+        for i in range(count):
+            yield Request(
+                request_id=next_id,
+                input_tokens=int(inputs[i]),
+                output_tokens=int(outputs[i]),
+            )
+            next_id += 1

@@ -20,18 +20,40 @@ wasted step rather than the run.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
-from repro.audit import Watchdog, WatchdogExceeded, get_auditor
+import numpy as np
+
+from repro.audit import (
+    ConfigError,
+    KvConservationError,
+    Watchdog,
+    WatchdogExceeded,
+    get_auditor,
+)
 from repro.hw.power import ActivityAccumulator, PowerModel
 from repro.models.llama import DecodeAttention, DecodeBatchStats, LlamaCostModel
+from repro.serving.engine_core import (
+    SLOT_FAILED,
+    SLOT_FINISHED,
+    SLOT_RUNNING,
+    SLOT_SHED,
+    SLOT_WAITING,
+    EngineCore,
+    ReportAggregates,
+    bump_counter,
+)
 from repro.serving.kv_cache import BlockManager, KvCacheError
 from repro.serving.request import Request, RequestState, RetryPolicy
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
 #: Default KV block size in tokens (matches the paged-attention kernel).
 DEFAULT_BLOCK_SIZE = 128
+
+#: Accepted ``engine_mode`` / ``REPRO_ENGINE`` values.
+_ENGINE_MODES = ("auto", "vectorized", "scalar")
 
 
 @dataclass(frozen=True)
@@ -234,6 +256,8 @@ class LlmServingEngine:
         ctx: Optional[object] = None,
         auditor: Optional[object] = None,
         watchdog: Optional[object] = None,
+        engine_mode: str = "auto",
+        retain_requests: bool = True,
     ) -> None:
         """``injector`` is a :class:`~repro.faults.injector.FaultInjector`
         (duck-typed so the serving layer stays import-independent of
@@ -245,7 +269,21 @@ class LlmServingEngine:
         auditor (``REPRO_AUDIT``); ``watchdog`` is a
         :class:`~repro.audit.Watchdog` bounding the run by steps/wall
         time -- tripping it yields a typed partial report instead of a
-        wedged simulation."""
+        wedged simulation.
+
+        ``engine_mode`` selects the stepping core: ``"scalar"`` walks
+        per-request objects (the reference semantics), ``"vectorized"``
+        runs the struct-of-arrays fast path (and raises
+        :class:`~repro.audit.ConfigError` when a bound policy / injector
+        / watchdog / tracer makes it ineligible), and ``"auto"`` --
+        overridable via ``REPRO_ENGINE`` -- picks the fast path whenever
+        it is eligible.  Both cores produce byte-identical reports.
+        ``retain_requests=False`` folds terminal requests into constant-
+        memory aggregates instead of keeping every object alive, which
+        is what makes million-request streaming runs possible; latency
+        means are then accumulated in retirement order (ulp-level
+        differences from the retained path) and the run is excluded from
+        byte-golden comparisons."""
         self.model = model
         self.attention = attention
         if num_kv_blocks is None:
@@ -279,6 +317,16 @@ class LlmServingEngine:
         self._batch_stats: Optional[DecodeBatchStats] = None
         self._batch_version = -1
         self._all_requests: List[Request] = []
+        if engine_mode not in _ENGINE_MODES:
+            raise ConfigError(
+                f"engine_mode must be one of {_ENGINE_MODES}, got {engine_mode!r}"
+            )
+        self.engine_mode = engine_mode
+        self.retain_requests = retain_requests
+        self._fast = False
+        self._core: Optional[EngineCore] = None
+        self._aggregates: Optional[ReportAggregates] = None
+        self._max_fed_arrival = 0.0
         if ctx is not None:
             self.bind_context(ctx)
 
@@ -388,9 +436,67 @@ class LlmServingEngine:
     # the engine, feeding requests as a gateway routes them and
     # advancing the simulation in bounded horizons.
 
+    def _fast_block_reason(self) -> str:
+        """Why the vectorized core cannot serve this configuration
+        (empty string = eligible).  Fault paths, SLO policies, watchdogs
+        and per-step observability all need the per-iteration object
+        walk, so they pin the run to the scalar core."""
+        if self.policy is not None:
+            return "a ResiliencePolicy is bound"
+        if self.injector is not None:
+            return "a FaultInjector is bound"
+        if self.watchdog is not None:
+            return "a Watchdog is armed"
+        if self._tracer is not None or self._metrics is not None:
+            return "tracing/metrics observability is bound"
+        return ""
+
+    def _resolve_engine_mode(self) -> bool:
+        """True when this run uses the vectorized core.
+
+        An explicit constructor ``engine_mode`` wins; ``"auto"`` defers
+        to ``REPRO_ENGINE`` and finally to eligibility.  Requesting
+        ``"vectorized"`` via the constructor on an ineligible engine is
+        a hard :class:`ConfigError`; via the environment it degrades to
+        the scalar core (the env var is a fleet-wide soft preference).
+        """
+        mode = self.engine_mode
+        if mode == "auto":
+            env = os.environ.get("REPRO_ENGINE", "").strip().lower()
+            if env and env not in _ENGINE_MODES:
+                raise ConfigError(
+                    f"REPRO_ENGINE must be one of {_ENGINE_MODES}, got {env!r}"
+                )
+            if env == "scalar":
+                return False
+            return not self._fast_block_reason()
+        if mode == "scalar":
+            return False
+        reason = self._fast_block_reason()
+        if reason:
+            raise ConfigError(
+                f"engine_mode='vectorized' is unavailable: {reason}; "
+                "use 'auto' or 'scalar'"
+            )
+        return True
+
     def begin(self, requests: Sequence[Request] = ()) -> None:
         """Open a run: arm the audit ledger and watchdog, start the
         root span, and submit any up-front ``requests``."""
+        self._fast = self._resolve_engine_mode()
+        self._core = (
+            EngineCore(self.block_manager.num_blocks, self.block_manager.block_size)
+            if self._fast
+            else None
+        )
+        self._aggregates = None if self.retain_requests else ReportAggregates()
+        self.scheduler.on_retire = (
+            self._fold_terminal
+            if (self._aggregates is not None and not self._fast)
+            else None
+        )
+        self._max_fed_arrival = 0.0
+        bump_counter("vectorized_runs" if self._fast else "scalar_runs")
         self._audit = self.auditor.begin_run("serving.run") if self.auditor else None
         self.scheduler.bind_audit(self._audit)
         if self._audit is not None:
@@ -426,8 +532,37 @@ class LlmServingEngine:
             self._audit.set_token_baseline(
                 self._audit._token_baseline + request.generated
             )
-        self._all_requests.append(request)
-        self._submit(request)
+        if request.arrival_time > self._max_fed_arrival:
+            self._max_fed_arrival = request.arrival_time
+        if self._aggregates is not None:
+            self._aggregates.note_fed(request)
+        if self.retain_requests:
+            self._all_requests.append(request)
+        if self._fast:
+            self._feed_fast(request)
+        else:
+            self._submit(request)
+
+    def _feed_fast(self, request: Request) -> None:
+        """Fast-path submission: the scheduler's legality checks against
+        the slot arrays, then slot acquisition (no policy in fast mode,
+        so an oversized prompt fails hard exactly like the scalar
+        no-policy path)."""
+        if request.state is not RequestState.WAITING:
+            raise ValueError(f"request {request.request_id} is not schedulable")
+        needed = self.block_manager.blocks_needed(request.input_tokens)
+        if needed > self.block_manager.num_blocks:
+            raise KvCacheError(
+                f"request {request.request_id}'s prompt needs {needed} KV "
+                f"blocks but the pool only has {self.block_manager.num_blocks}; "
+                "it can never be scheduled"
+            )
+        self._core.acquire(request)
+
+    def _fold_terminal(self, request: Request) -> None:
+        """Retirement hook for ``retain_requests=False`` runs."""
+        if self._aggregates is not None:
+            self._aggregates.fold_terminal(request)
 
     @property
     def now(self) -> float:
@@ -436,11 +571,15 @@ class LlmServingEngine:
 
     @property
     def requests(self) -> List[Request]:
-        """Every request fed to the current run, in feed order."""
+        """Every request fed to the current run, in feed order (empty
+        when ``retain_requests=False`` -- terminal requests are folded
+        into aggregates instead of retained)."""
         return list(self._all_requests)
 
     @property
     def has_unfinished(self) -> bool:
+        if self._fast and self._core is not None:
+            return self._core.has_unfinished
         return self.scheduler.has_unfinished
 
     def advance(self, horizon: float = math.inf) -> float:
@@ -456,6 +595,8 @@ class LlmServingEngine:
         budget is exhausted (``run()`` converts that into a typed
         partial report).
         """
+        if self._fast:
+            return self._advance_fast(horizon)
         audit = self._audit
         watchdog = self.watchdog
         tracer = self._tracer
@@ -599,14 +740,254 @@ class LlmServingEngine:
                 self._finish_step(step_span, step_start, now, step_activity, len(running))
         return self._now
 
+    # -- vectorized fast path ------------------------------------------
+    def _advance_fast(self, horizon: float, sync_exit: bool = True) -> float:
+        """The struct-of-arrays twin of :meth:`advance`.
+
+        One outer iteration mirrors one (or many) scalar iterations: a
+        virtual scheduler step (retire, then admit) against the slot
+        arrays, sequential prefills for admissions, capacity preemption,
+        then a *decode burst* -- consecutive decode steps priced against
+        integer context aggregates until the next membership-changing
+        event.  Request objects are only touched at lifecycle events and
+        re-synchronized on exit, so callers observe the exact scalar
+        semantics.  ``sync_exit=False`` skips that exit sync -- only for
+        engine-internal loops (:meth:`run_streaming`) where nothing can
+        observe live request objects before the next advance or
+        :meth:`finish` syncs them.
+        """
+        core = self._core
+        audit = self._audit
+        model = self.model
+        max_batch = self.max_decode_batch
+        inp = core.input_tokens
+        out = core.output_tokens
+        gen = core.generated
+        first = core.first_token
+        finish = core.finish
+        arrival = core.arrival
+        state = core.state
+        run_slots = core.run_slots
+        activity = self._activity
+        while core.has_unfinished:
+            now = self._now
+            if now > horizon:
+                break
+            if audit is not None:
+                audit.observe_clock(now)
+                if self.auditor is not None:
+                    self.auditor.check_core_invariants(core)
+            # Virtual scheduler step: retire, then admit (the exact
+            # order of ContinuousBatchingScheduler.step).
+            if core.finished_pending:
+                retired = set()
+                for slot in core.finished_pending:
+                    core.free_blocks += core.blocks_held(slot)
+                    self._fold_terminal(core.materialize_terminal(slot))
+                    core.release(slot)
+                    retired.add(slot)
+                core.finished_pending.clear()
+                run_slots[:] = [s for s in run_slots if s not in retired]
+            admitted: List[int] = []
+            head = core.waiting_head()
+            while (
+                head is not None
+                and len(run_slots) + len(admitted) < max_batch
+                and arrival[head] <= now
+                and core.blocks_needed(int(inp[head]) + int(gen[head]))
+                <= core.free_blocks
+            ):
+                core.pop_waiting_head()
+                core.allocate_shadow(head)
+                core.objs[head].start_running()
+                state[head] = SLOT_RUNNING
+                admitted.append(head)
+                head = core.waiting_head()
+            run_slots.extend(admitted)
+            if not run_slots:
+                self._now = now
+                head = core.waiting_head()
+                if head is None:
+                    break  # everything retired in this step
+                if arrival[head] <= now:
+                    # Nothing runs, nothing admits, and the head request
+                    # has already arrived: the pool can never serve it.
+                    core.sync_live_objects()
+                    obj = core.objs[head]
+                    reason = (
+                        f"kv-exhausted: {obj.context_len} prompt tokens exceed "
+                        "the free KV pool with no running request to retire"
+                    )
+                    raise KvCacheError(
+                        f"request {obj.request_id} cannot be admitted: {reason}"
+                    )
+                if arrival[head] > horizon:
+                    break  # idle until past the horizon; do not jump it
+                # All remaining requests arrive later; jump the clock.
+                self._now = max(now, float(arrival[head]))
+                continue
+            # Prefills run sequentially, one prompt at a time (vLLM
+            # style, matching the scalar loop's clock arithmetic).
+            for slot in admitted:
+                phase = model.prefill(1, int(inp[slot]) + int(gen[slot]))
+                now += phase.time
+                activity.merge(phase.activity)
+                gen[slot] += 1
+                if np.isnan(first[slot]):
+                    first[slot] = now
+                if gen[slot] >= out[slot]:
+                    state[slot] = SLOT_FINISHED
+                    finish[slot] = now
+                    core.finished_pending.append(slot)
+            if admitted and audit is not None:
+                audit.on_tokens_emitted(len(admitted))
+            if core.finished_pending:
+                runners = [s for s in run_slots if state[s] == SLOT_RUNNING]
+            else:
+                runners = list(run_slots)
+            if not runners:
+                self._steps += 1
+                self._now = now
+                continue
+            # Capacity preemption: evict the newest runners until every
+            # remaining one can grow a block (the scalar rule).
+            while core.free_blocks < len(runners) and len(runners) > 1:
+                victim = runners.pop()
+                run_slots.remove(victim)
+                core.free_blocks += core.blocks_held(victim)
+                if audit is not None:
+                    audit.on_tokens_rolled_back(int(gen[victim]))
+                obj = core.objs[victim]
+                obj.restart()
+                gen[victim] = 0
+                first[victim] = np.nan
+                finish[victim] = np.nan
+                core.restarts[victim] = obj.restarts
+                state[victim] = SLOT_WAITING
+                core.insort_waiting(victim, left=True)
+                self._preemptions += 1
+            now = self._decode_burst(runners, now, horizon)
+        if sync_exit:
+            core.sync_live_objects()
+        return self._now
+
+    def _decode_burst(self, runners: List[int], now: float, horizon: float) -> float:
+        """Price consecutive decode steps for a fixed batch without any
+        per-request object traffic; returns the clock after the burst.
+
+        The burst ends just before the first virtual iteration whose
+        scheduler step would diverge from a pure decode continuation: a
+        runner finishing, a pending retirement, the waiting head
+        becoming admissible, capacity preemption, or the horizon.  Step
+        costs come from ``LlamaCostModel.decode_stepper``, whose integer
+        recurrences are bit-identical to rebuilding
+        ``DecodeBatchStats`` per step.
+        """
+        core = self._core
+        bs = core.block_size
+        n = len(runners)
+        slots = np.asarray(runners, dtype=np.intp)
+        ctx0 = core.input_tokens[slots] + core.generated[slots]
+        rem = core.output_tokens[slots] - core.generated[slots]
+        min_rem = int(rem.min())
+        total_context = int(ctx0.sum())
+        total_blocks = int(np.sum(-(-ctx0 // 128)))
+        max_context = int(ctx0.max())
+        # Pricing always buckets KV at the kernel's 128-token blocks;
+        # the engine's pool may use a different block size, so shadow
+        # growth gets its own residue histogram.  A burst that provably
+        # stops after one step (a pending retirement, or a runner with
+        # one token left) only ever reads the first-step KV growth, so
+        # it skips the histograms -- at steady state most bursts end at
+        # a retirement, making this the common case.
+        single_step = bool(core.finished_pending) or min_rem <= 1
+        if single_step:
+            growth0 = int(np.count_nonzero(ctx0 % bs == 1))
+            hist128 = hist_bs = None
+        else:
+            hist128 = np.bincount((ctx0 % 128).astype(np.int64), minlength=128)
+            hist_bs = (
+                hist128
+                if bs == 128
+                else np.bincount((ctx0 % bs).astype(np.int64), minlength=bs)
+            )
+        stepper = self.model.decode_stepper(n, self.attention)
+        head = core.waiting_head()
+        head_arrival = float(core.arrival[head]) if head is not None else math.inf
+        head_needed = (
+            core.blocks_needed(
+                int(core.input_tokens[head]) + int(core.generated[head])
+            )
+            if head is not None
+            else 0
+        )
+        room = n < self.max_decode_batch
+        retire_pending = bool(core.finished_pending)
+        activity = self._activity
+        j = 0  # completed steps this burst
+        recorded = 0  # steps whose tokens were recorded
+        exhausted = False
+        while True:
+            # KV growth of the upcoming step (step j+1, 1-based): a
+            # runner with start context c grows at steps where
+            # c + step - 2 is a block-size multiple.
+            growth = growth0 if single_step else int(hist_bs[(1 - j) % bs])
+            now += stepper(total_context, total_blocks, max_context, activity)
+            j += 1
+            if growth > core.free_blocks:
+                # Only reachable with a single runner (the headroom
+                # guard below breaks first for n > 1): the step's time
+                # is charged, then the append fails before any token is
+                # recorded -- the scalar fail-fast path.
+                exhausted = True
+                break
+            core.free_blocks -= growth
+            recorded = j
+            if single_step:
+                break
+            total_context += n
+            max_context += 1
+            total_blocks += int(hist128[(1 - j) % 128])
+            if j >= min_rem:
+                break  # at least one runner finished this step
+            if retire_pending:
+                break  # a prefill finisher awaits retirement next step
+            if now > horizon:
+                break
+            if head_arrival <= now and room and head_needed <= core.free_blocks:
+                break  # the waiting head becomes admissible next step
+            if core.free_blocks < n and n > 1:
+                break  # capacity preemption due next step
+        core.generated[slots] += recorded
+        self._steps += j
+        core.vectorized_steps += j
+        self._now = now
+        if self._audit is not None and recorded:
+            self._audit.on_tokens_emitted(n * recorded)
+        if exhausted:
+            core.sync_live_objects()
+            raise KvCacheError("out of KV blocks during decode")
+        if recorded == min_rem:
+            done = slots[np.asarray(rem == min_rem)]
+            core.state[done] = SLOT_FINISHED
+            core.finish[done] = now
+            core.finished_pending.extend(int(s) for s in done)
+        return now
+
     def finish(self, watchdog_reason: str = "") -> ServingReport:
         """Close the run: end the root span, unbind the audit handle,
         and return the aggregate report over every fed request."""
         if self._tracer is not None:
             self._tracer.finish(self._now)
+        if self._fast and self._core is not None:
+            self._core.sync_live_objects()
+        bump_counter(
+            "vectorized_steps" if self._fast else "scalar_steps", self._steps
+        )
         audit = self._audit
         self._audit = None
         self.scheduler.bind_audit(None)
+        self.scheduler.on_retire = None
         requests = self._all_requests
         report = self._build_report(
             requests, self._now, self._steps, self._preemptions,
@@ -615,15 +996,73 @@ class LlmServingEngine:
         if audit is not None:
             audit.observe_clock(self._now)
             audit.check_kv_drained(self.block_manager)
-            audit.check_token_conservation(sum(r.generated for r in requests))
-            audit.check_report(
-                report,
-                [r.ttft for r in requests if r.state is RequestState.FINISHED],
-            )
+            if self._fast and self._core is not None and self.auditor is not None:
+                core = self._core
+                self.auditor.check(
+                    core.free_blocks == core.num_blocks,
+                    KvConservationError,
+                    f"fast-path shadow pool not drained at end of run: "
+                    f"{core.free_blocks}/{core.num_blocks} blocks free",
+                )
+            audit.check_token_conservation(self._total_generated())
+            ttfts = None
+            if self.retain_requests:
+                ttfts = [r.ttft for r in requests if r.state is RequestState.FINISHED]
+            audit.check_report(report, ttfts)
         return report
 
-    def run(self, requests: Sequence[Request]) -> ServingReport:
+    @property
+    def last_fed_arrival(self) -> float:
+        """Latest ``arrival_time`` among fed requests -- the load
+        generator's saturation denominator for streaming runs, where no
+        materialized request list exists to take a ``max`` over."""
+        return self._max_fed_arrival
+
+    @property
+    def retained_requests(self) -> List[Request]:
+        """Every request fed to the current run (empty in
+        ``retain_requests=False`` release mode, where terminal requests
+        fold into constant-size aggregates instead)."""
+        return list(self._all_requests)
+
+    def ttft_p99(self) -> float:
+        """P99 TTFT over finished requests: the exact nearest-rank
+        percentile when requests are retained, else the release-mode
+        histogram upper bound from :class:`ReportAggregates`."""
+        if self._aggregates is not None:
+            return self._aggregates.p99_ttft()
+        ttfts = [
+            r.ttft for r in self._all_requests
+            if r.state is RequestState.FINISHED
+        ]
+        if not ttfts:
+            return 0.0
+        from repro.core.metrics import percentile
+
+        return percentile(ttfts, 99)
+
+    def _total_generated(self) -> int:
+        """Generated-token total for the conservation check, covering
+        both retained and folded (``retain_requests=False``) runs."""
+        if self._aggregates is None:
+            return sum(r.generated for r in self._all_requests)
+        if self._fast and self._core is not None:
+            live = self._core.live_generated_total()
+        else:
+            live = sum(
+                r.generated
+                for r in self.scheduler.waiting + self.scheduler.running
+            )
+        return self._aggregates.terminal_tokens + live
+
+    def run(self, requests: Iterable[Request]) -> ServingReport:
         """Serve ``requests``; returns aggregate metrics.
+
+        A :class:`Sequence` is fed up front (the canonical golden
+        path); any other iterable -- a generator of arrivals -- is
+        served through :meth:`run_streaming` without ever being
+        materialized, which is how million-request traces run in
+        bounded memory.
 
         Without a policy, an unservable request raises
         :class:`KvCacheError` (fail fast); with one, it is shed with a
@@ -633,6 +1072,8 @@ class LlmServingEngine:
         stops the run and returns a partial report carrying the typed
         ``watchdog_reason``.
         """
+        if not isinstance(requests, Sequence):
+            return self.run_streaming(requests)
         self.begin(requests)
         watchdog_reason = ""
         try:
@@ -656,6 +1097,149 @@ class LlmServingEngine:
             raise
         return self.finish(watchdog_reason)
 
+    def run_streaming(self, arrivals: Iterable[Request]) -> ServingReport:
+        """Serve a lazily generated arrival stream in bounded memory.
+
+        ``arrivals`` must yield requests in nondecreasing
+        ``arrival_time`` order (:class:`~repro.audit.ConfigError`
+        otherwise -- the single-pass clock cannot travel back to an
+        earlier arrival).  At most one generated-but-unfed request is
+        buffered: the engine advances to just before the next arrival,
+        feeds it, and repeats, so the in-memory working set tracks the
+        concurrent batch, not the trace length.  Combined with
+        ``retain_requests=False`` the whole run is constant-memory.
+        The report is byte-identical to feeding the same requests as a
+        list up front (under the same ``retain_requests`` setting).
+        """
+        iterator = iter(arrivals)
+        self.begin(())
+        watchdog_reason = ""
+        try:
+            last_arrival = -math.inf
+            pending = next(iterator, None)
+            while pending is not None:
+                if pending.arrival_time < last_arrival:
+                    raise ConfigError(
+                        "streaming arrivals must be sorted by nondecreasing "
+                        f"arrival_time (got {pending.arrival_time!r} after "
+                        f"{last_arrival!r})"
+                    )
+                if pending.arrival_time <= self._now or not self.has_unfinished:
+                    last_arrival = pending.arrival_time
+                    self.feed(pending)
+                    bump_counter("arrival_buffer_peak", self._waiting_count())
+                    pending = next(iterator, None)
+                    continue
+                before = self._now
+                # Advance to just before the next arrival: a step that
+                # starts earlier may overrun it, exactly as in the
+                # all-at-once run, so the report bytes match.  Inside
+                # this engine-owned loop nothing reads live request
+                # objects between advances, so the fast path defers its
+                # object sync to lifecycle events and finish().
+                inner_horizon = math.nextafter(pending.arrival_time, -math.inf)
+                if self._fast:
+                    self._advance_fast(inner_horizon, sync_exit=False)
+                else:
+                    self.advance(inner_horizon)
+                if self._now == before and pending.arrival_time > self._now:
+                    # Idle until an internal requeue at or past the next
+                    # external arrival: feed it so the clock can jump.
+                    last_arrival = pending.arrival_time
+                    self.feed(pending)
+                    bump_counter("arrival_buffer_peak", self._waiting_count())
+                    pending = next(iterator, None)
+            self.advance()
+        except WatchdogExceeded as error:
+            watchdog_reason = str(error)
+            self.block_manager.free_all()
+            if self._tracer is not None:
+                self._tracer.instant("watchdog_exceeded", "engine", self._now)
+            if self._metrics is not None:
+                self._metrics.counter("engine.watchdog_trips").inc()
+        except BaseException:
+            if self._tracer is not None:
+                self._tracer.finish(self._now)
+            self._audit = None
+            self.scheduler.bind_audit(None)
+            raise
+        return self.finish(watchdog_reason)
+
+    def _waiting_count(self) -> int:
+        if self._fast and self._core is not None:
+            return self._core.waiting_count
+        return len(self.scheduler.waiting)
+
+    # -- cluster-facing lifecycle wrappers ------------------------------
+    def fail_all(self, reason: str) -> List[Request]:
+        """Terminally fail every in-flight request (the cluster node
+        crash path).  Requests that FINISHED awaiting retirement are
+        retired, not failed.  Dispatches to whichever core owns the
+        run's state, so callers never reach into the scheduler."""
+        if not self._fast or self._core is None:
+            return self.scheduler.fail_all(reason)
+        core = self._core
+        waiting = core.waiting_slots()
+        run = list(core.run_slots)
+        for slot in run:
+            core.free_blocks += core.blocks_held(slot)
+        finished_slots = [s for s in run if int(core.state[s]) == SLOT_FINISHED]
+        victim_slots = waiting + [
+            s for s in run if int(core.state[s]) != SLOT_FINISHED
+        ]
+        core.run_slots.clear()
+        core.finished_pending.clear()
+        core.wait_q.clear()
+        core.wait_head = 0
+        for slot in finished_slots:
+            self._fold_terminal(core.materialize_terminal(slot))
+            core.release(slot)
+        victims: List[Request] = []
+        for slot in victim_slots:
+            request = core.sync_object(slot)
+            request.fail(reason)
+            core.state[slot] = SLOT_FAILED
+            victims.append(request)
+            self._fold_terminal(request)
+            core.release(slot)
+        return victims
+
+    def cancel(self, request: Request, reason: str) -> None:
+        """Shed one scheduled request (the gateway cancellation path);
+        a FINISHED request awaiting retirement is retired instead."""
+        if not self._fast or self._core is None:
+            self.scheduler.shed(request, reason)
+            return
+        core = self._core
+        q = core.wait_q
+        for i in range(core.wait_head, len(q)):
+            slot = q[i]
+            if core.objs[slot] is request:
+                del q[i]
+                core.sync_object(slot)
+                request.shed(reason)
+                core.state[slot] = SLOT_SHED
+                self._fold_terminal(request)
+                core.release(slot)
+                return
+        for slot in list(core.run_slots):
+            if core.objs[slot] is not request:
+                continue
+            core.free_blocks += core.blocks_held(slot)
+            core.run_slots.remove(slot)
+            if int(core.state[slot]) == SLOT_FINISHED:
+                if slot in core.finished_pending:
+                    core.finished_pending.remove(slot)
+                self._fold_terminal(core.materialize_terminal(slot))
+            else:
+                core.sync_object(slot)
+                request.shed(reason)
+                core.state[slot] = SLOT_SHED
+                self._fold_terminal(request)
+            core.release(slot)
+            return
+        raise ValueError(f"request {request.request_id} is not scheduled")
+
     # ------------------------------------------------------------------
     def _submit(self, request: Request) -> None:
         try:
@@ -664,6 +1248,7 @@ class LlmServingEngine:
             if not self._graceful:
                 raise
             request.shed(f"oversized: {error}")
+            self._fold_terminal(request)
 
     def _advance_faults(self, now: float) -> float:
         """Apply fault events due at ``now``; returns the clock, advanced
@@ -772,6 +1357,10 @@ class LlmServingEngine:
         activity: ActivityAccumulator,
         watchdog_reason: str = "",
     ) -> ServingReport:
+        if self._aggregates is not None:
+            return self._build_report_from_aggregates(
+                now, steps, preemptions, activity, watchdog_reason
+            )
         finished = [r for r in requests if r.state is RequestState.FINISHED]
         self.fault_stats.recovered_requests = sum(
             1 for r in finished if r.request_id in self._fault_restarted_ids
@@ -819,6 +1408,61 @@ class LlmServingEngine:
             failed_requests=len(failed),
             unfinished_requests=unfinished,
             retried_requests=sum(1 for r in requests if r.retries > 0),
+            kernel_retries=self.fault_stats.kernel_retries,
+            device_failures=self.fault_stats.device_failures,
+            watchdog_reason=watchdog_reason,
+        )
+
+    def _build_report_from_aggregates(
+        self,
+        now: float,
+        steps: int,
+        preemptions: int,
+        activity: ActivityAccumulator,
+        watchdog_reason: str = "",
+    ) -> ServingReport:
+        """Constant-memory report for ``retain_requests=False`` runs:
+        terminal requests were folded at retirement, so only the live
+        (still-scheduled) remainder is walked here."""
+        agg = self._aggregates
+        live_tokens = 0
+        live_retried = 0
+        if self._fast and self._core is not None:
+            core = self._core
+            for slot in core.run_slots:
+                live_tokens += int(core.generated[slot])
+                if core.retries[slot] > 0:
+                    live_retried += 1
+            for slot in core.waiting_slots():
+                live_tokens += int(core.generated[slot])
+                if core.retries[slot] > 0:
+                    live_retried += 1
+        else:
+            for request in self.scheduler.waiting + self.scheduler.running:
+                live_tokens += request.generated
+                if request.retries > 0:
+                    live_retried += 1
+        finished = agg.finished
+        power = 0.0
+        if now > 0:
+            power = PowerModel(self.model.device.spec.power).power(activity.profile(now))
+        return ServingReport(
+            device=self.model.device.name,
+            attention=self.attention.value,
+            num_requests=agg.fed,
+            max_decode_batch=self.max_decode_batch,
+            total_time=now,
+            total_output_tokens=agg.terminal_tokens + live_tokens,
+            mean_ttft=agg.sum_ttft / finished if finished else 0.0,
+            mean_tpot=agg.sum_tpot / finished if finished else 0.0,
+            average_power=power,
+            engine_steps=steps,
+            preemptions=preemptions,
+            finished_requests=finished,
+            shed_requests=agg.shed,
+            failed_requests=agg.failed,
+            unfinished_requests=agg.fed - finished - agg.shed - agg.failed,
+            retried_requests=agg.retried + live_retried,
             kernel_retries=self.fault_stats.kernel_retries,
             device_failures=self.fault_stats.device_failures,
             watchdog_reason=watchdog_reason,

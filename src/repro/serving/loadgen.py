@@ -11,11 +11,12 @@ knee of the latency curve).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.api.compat import positional_shim
+from repro.audit import ConfigError
 from repro.core.metrics import goodput_fraction, percentile, slo_violation_rate
 from repro.core.parallel import map_with_retries, resolve_worker_count
 from repro.serving.engine import LlmServingEngine, ServingReport
@@ -86,12 +87,43 @@ class LoadTestReport:
         )
 
 
+def _check_request_factory(request_factory: object) -> None:
+    """Reject a bare iterable passed where a factory is required.
+
+    Sweeps and bisection searches serve one workload *per load point*,
+    so they need a zero-argument callable that yields a fresh, finite
+    arrival stream each call -- a generator object can only be consumed
+    once and would silently starve every point after the first."""
+    if callable(request_factory):
+        return
+    if isinstance(request_factory, Iterable):
+        raise ConfigError(
+            "request_factory must be a zero-argument callable, not a bare "
+            "iterable/generator (it would be consumed by the first load "
+            "point); wrap it in a factory, e.g. "
+            "lambda: iter_dynamic_sonnet_requests(n, seed)"
+        )
+    raise ConfigError(
+        f"request_factory must be callable, got "
+        f"{type(request_factory).__name__!r}"
+    )
+
+
 def poisson_arrivals(
-    requests: Sequence[Request], rate: float, seed: int = 0
-) -> List[Request]:
-    """Assign Poisson arrival times (rate in requests/s), in place."""
+    requests: Iterable[Request], rate: float, seed: int = 0
+) -> Union[List[Request], Iterator[Request]]:
+    """Assign Poisson arrival times (rate in requests/s), in place.
+
+    A :class:`Sequence` is stamped and returned as a list (the
+    original, byte-golden path); any other iterable is wrapped lazily
+    -- requests are stamped one by one as they are pulled, so a
+    million-request generator never materializes.  Both draw the gaps
+    from the same seeded stream.
+    """
     if rate <= 0:
         raise ValueError("rate must be positive")
+    if not isinstance(requests, Sequence):
+        return _lazy_poisson(requests, rate, seed)
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / rate, size=len(requests))
     clock = 0.0
@@ -101,13 +133,24 @@ def poisson_arrivals(
     return list(requests)
 
 
+def _lazy_poisson(
+    requests: Iterable[Request], rate: float, seed: int
+) -> Iterator[Request]:
+    rng = np.random.default_rng(seed)
+    clock = 0.0
+    for request in requests:
+        clock += float(rng.exponential(1.0 / rate))
+        request.arrival_time = clock
+        yield request
+
+
 def diurnal_arrivals(
-    requests: Sequence[Request],
+    requests: Iterable[Request],
     rate: float,
     period: float = 60.0,
     amplitude: float = 0.8,
     seed: int = 0,
-) -> List[Request]:
+) -> Union[List[Request], Iterator[Request]]:
     """Assign sinusoidally-modulated Poisson arrival times, in place.
 
     A non-homogeneous Poisson process with instantaneous rate
@@ -115,6 +158,10 @@ def diurnal_arrivals(
     sampled by Lewis-Shedler thinning against the peak rate -- the
     standard diurnal traffic shape that exercises autoscalers with
     alternating overload peaks and idle troughs.
+
+    As with :func:`poisson_arrivals`, a non-``Sequence`` iterable is
+    stamped lazily; the thinning loop already draws per request, so
+    both paths consume the identical random stream.
     """
     if rate <= 0:
         raise ValueError("rate must be positive")
@@ -122,6 +169,18 @@ def diurnal_arrivals(
         raise ValueError("period must be positive")
     if not 0.0 <= amplitude < 1.0:
         raise ValueError("amplitude must be in [0, 1)")
+    if not isinstance(requests, Sequence):
+        return _lazy_diurnal(requests, rate, period, amplitude, seed)
+    return list(_lazy_diurnal(requests, rate, period, amplitude, seed))
+
+
+def _lazy_diurnal(
+    requests: Iterable[Request],
+    rate: float,
+    period: float,
+    amplitude: float,
+    seed: int,
+) -> Iterator[Request]:
     rng = np.random.default_rng(seed)
     peak = rate * (1.0 + amplitude)
     clock = 0.0
@@ -134,7 +193,7 @@ def diurnal_arrivals(
             if rng.random() * peak <= instantaneous:
                 break
         request.arrival_time = clock
-    return list(requests)
+        yield request
 
 
 @positional_shim("engine_factory", "request_factory", "offered_rate", "seed")
@@ -150,9 +209,35 @@ def run_load_test(
 
     With a :class:`~repro.api.RunContext` passed as ``ctx``, the run is
     traced/metered through it and its seed serves as the default.
+
+    ``request_factory`` may return a lazy iterable instead of a list;
+    the workload then streams through the engine without ever being
+    materialized (p99 TTFT comes from the engine, which in
+    ``retain_requests=False`` release mode is the histogram upper
+    bound over finished requests).
     """
+    _check_request_factory(request_factory)
     seed = ctx.resolve_seed(seed) if ctx is not None else (0 if seed is None else seed)
-    requests = poisson_arrivals(request_factory(), offered_rate, seed)
+    workload = request_factory()
+    if not isinstance(workload, Sequence):
+        arrivals = poisson_arrivals(workload, offered_rate, seed)
+        engine = engine_factory()
+        if ctx is not None:
+            engine.bind_context(ctx)
+        report = engine.run(arrivals)
+        achieved = (
+            report.num_requests / report.total_time
+            if report.total_time > 0 else 0.0
+        )
+        return LoadTestReport(
+            offered_rate=offered_rate,
+            achieved_rate=achieved,
+            mean_ttft=report.mean_ttft,
+            p99_ttft=engine.ttft_p99(),
+            mean_tpot=report.mean_tpot,
+            saturated=report.total_time > 1.25 * engine.last_fed_arrival,
+        )
+    requests = poisson_arrivals(workload, offered_rate, seed)
     engine = engine_factory()
     if ctx is not None:
         engine.bind_context(ctx)
@@ -246,13 +331,29 @@ def run_resilient_load_test(
     :class:`~repro.serving.engine.ResiliencePolicy` (and optionally a
     fault injector); shed requests then surface in the report instead
     of crashing the run.  ``ctx`` works as in :func:`run_load_test`.
+
+    A lazy ``request_factory`` streams through the engine like in
+    :func:`run_load_test`, but the engine must retain requests
+    (``retain_requests=True``, the default): goodput and SLO violations
+    need every finished request's TTFT against the deadline, which the
+    release-mode aggregates do not keep.
     """
+    _check_request_factory(request_factory)
     seed = ctx.resolve_seed(seed) if ctx is not None else (0 if seed is None else seed)
-    requests = poisson_arrivals(request_factory(), offered_rate, seed)
+    workload = request_factory()
+    streaming = not isinstance(workload, Sequence)
+    arrivals = poisson_arrivals(workload, offered_rate, seed)
     engine = engine_factory()
+    if streaming and not engine.retain_requests:
+        raise ConfigError(
+            "streaming resilient load tests need retain_requests=True "
+            "engines: per-request TTFTs against the SLO deadline cannot "
+            "be recovered from release-mode aggregates"
+        )
     if ctx is not None:
         engine.bind_context(ctx)
-    report = engine.run(requests)
+    report = engine.run(arrivals)
+    requests = arrivals if not streaming else engine.retained_requests
     finished = [r for r in requests if r.state is RequestState.FINISHED]
     ttfts = [r.ttft for r in finished]
     deadline = engine.policy.deadline if engine.policy else None
@@ -332,6 +433,7 @@ def run_load_sweep(
     parent process only; pass ``resilient=True`` to run
     :func:`run_resilient_load_test` points instead.
     """
+    _check_request_factory(request_factory)
     seed = ctx.resolve_seed(seed) if ctx is not None else (0 if seed is None else seed)
     rates = list(rates)
     if not rates:
@@ -397,6 +499,7 @@ def max_sustainable_rate(
     """
     if not 0 < low < high:
         raise ValueError("need 0 < low < high")
+    _check_request_factory(request_factory)
     count = resolve_worker_count(workers, 2**31)
     if count <= 1:
         for _ in range(iterations):

@@ -85,6 +85,11 @@ class ContinuousBatchingScheduler:
         #: Virtual time of the last :meth:`step`; preempt/shed events
         #: (which take no clock argument) are stamped with it.
         self._last_now = 0.0
+        #: Called with each request as it leaves the scheduler in a
+        #: terminal state (retired, shed, or failed).  The engine binds
+        #: it in ``retain_requests=False`` runs to fold metrics without
+        #: keeping the object alive.
+        self.on_retire = None
 
     def bind_observability(self, tracer, metrics) -> None:
         """Attach a tracer / metrics registry (None disables either)."""
@@ -132,6 +137,8 @@ class ContinuousBatchingScheduler:
                 blocks = len(self.block_manager.block_list(request.request_id))
                 self.block_manager.free(request.request_id)
                 retired += 1
+                if self.on_retire is not None:
+                    self.on_retire(request)
                 if self.tracer is not None:
                     # Pool bookkeeping is instantaneous on the virtual
                     # clock; the zero-width span marks the event on the
@@ -210,6 +217,8 @@ class ContinuousBatchingScheduler:
         blocks = len(self.block_manager.block_list(victim.request_id))
         self.block_manager.free(victim.request_id)
         if victim.state is RequestState.FINISHED:
+            if self.on_retire is not None:
+                self.on_retire(victim)
             if self.tracer is not None:
                 self.tracer.record(
                     "kv.free", "kv", self._last_now, self._last_now,
@@ -245,10 +254,14 @@ class ContinuousBatchingScheduler:
             self.mutation_count += 1
             self.block_manager.free(request.request_id)
             if request.state is RequestState.FINISHED:
+                if self.on_retire is not None:
+                    self.on_retire(request)
                 return
         else:
             raise ValueError(f"request {request.request_id} is not scheduled")
         request.shed(reason)
+        if self.on_retire is not None:
+            self.on_retire(request)
         if self.tracer is not None:
             self.tracer.instant(
                 "shed",
@@ -270,6 +283,7 @@ class ContinuousBatchingScheduler:
             r for r in self.waiting + self.running
             if r.state is not RequestState.FINISHED
         ]
+        finished = [r for r in self.running if r.state is RequestState.FINISHED]
         for request in self.running:
             self.block_manager.free(request.request_id)
         if self.running:
@@ -278,6 +292,11 @@ class ContinuousBatchingScheduler:
         self.running = []
         for request in victims:
             request.fail(reason)
+        if self.on_retire is not None:
+            for request in finished:
+                self.on_retire(request)
+            for request in victims:
+                self.on_retire(request)
         if victims and self.tracer is not None:
             self.tracer.instant(
                 "fail_all", "scheduler", self._last_now,

@@ -153,3 +153,69 @@ class TestSustainableRate:
             _engine_factory("a100"), _request_factory(), 1.0, 400.0, iterations=5
         )
         assert gaudi_rate >= 0.8 * a100_rate
+
+
+class TestStreamingLoadgen:
+    """Lazy arrival iterables and the factory-misuse guard."""
+
+    def test_lazy_poisson_matches_list(self):
+        listed = poisson_arrivals(fixed_length_requests(50, 100, 10), 5.0, seed=4)
+        lazy = list(
+            poisson_arrivals(iter(fixed_length_requests(50, 100, 10)), 5.0, seed=4)
+        )
+        assert [r.arrival_time for r in lazy] == [r.arrival_time for r in listed]
+
+    def test_lazy_diurnal_matches_list(self):
+        from repro.serving.loadgen import diurnal_arrivals
+
+        listed = diurnal_arrivals(
+            fixed_length_requests(50, 100, 10), 5.0, seed=4
+        )
+        lazy = list(
+            diurnal_arrivals(
+                iter(fixed_length_requests(50, 100, 10)), 5.0, seed=4
+            )
+        )
+        assert [r.arrival_time for r in lazy] == [r.arrival_time for r in listed]
+
+    def test_streaming_factory_matches_list_factory(self):
+        list_report = run_load_test(
+            engine_factory=_small_engine, request_factory=_small_requests,
+            offered_rate=20.0,
+        )
+        stream_report = run_load_test(
+            engine_factory=_small_engine,
+            request_factory=lambda: iter(_small_requests()),
+            offered_rate=20.0,
+        )
+        assert stream_report == list_report
+
+    def test_bare_generator_factory_rejected(self):
+        from repro.audit import ConfigError
+
+        with pytest.raises(ConfigError, match="zero-argument callable"):
+            run_load_test(
+                engine_factory=_small_engine,
+                request_factory=iter(_small_requests()),
+                offered_rate=20.0,
+            )
+
+    def test_bare_generator_rejected_in_sweep(self):
+        from repro.audit import ConfigError
+
+        with pytest.raises(ConfigError, match="zero-argument callable"):
+            run_load_sweep(
+                engine_factory=_small_engine,
+                request_factory=iter(_small_requests()),
+                rates=[5.0, 10.0],
+            )
+
+    def test_non_callable_factory_rejected(self):
+        from repro.audit import ConfigError
+
+        with pytest.raises(ConfigError, match="callable"):
+            run_load_test(
+                engine_factory=_small_engine,
+                request_factory=_small_requests(),
+                offered_rate=20.0,
+            )
