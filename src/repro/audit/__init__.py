@@ -22,6 +22,7 @@ from repro.audit.errors import (
     CollectiveAuditError,
     ConfigError,
     FleetConservationError,
+    FleetDrainError,
     FleetRoutingError,
     JournalError,
     KvConservationError,
@@ -42,6 +43,7 @@ __all__ = [
     "CollectiveAuditError",
     "ConfigError",
     "FleetConservationError",
+    "FleetDrainError",
     "FleetRoutingError",
     "JournalError",
     "KvConservationError",

@@ -27,6 +27,7 @@ __all__ = [
     "CollectiveAuditError",
     "ConfigError",
     "FleetConservationError",
+    "FleetDrainError",
     "FleetRoutingError",
     "JournalError",
     "KvConservationError",
@@ -121,6 +122,13 @@ class FleetConservationError(AuditError):
     double-served, or double-counted across failover."""
 
     check = "fleet_conservation"
+
+
+class FleetDrainError(AuditError):
+    """A node drain or rolling upgrade lost in-flight work: a drained
+    node retained attempts, or an upgrade schedule never completed."""
+
+    check = "fleet_drain"
 
 
 class JournalError(AuditError):

@@ -188,6 +188,35 @@ def _chaos_load(fast: bool) -> None:
     ))
 
 
+def _serve_overload(fast: bool) -> None:
+    from repro.cluster import (
+        AdmissionPolicy,
+        BreakerPolicy,
+        FleetConfig,
+        TenantSpec,
+        run_fleet,
+    )
+
+    run_fleet(FleetConfig(
+        nodes=((_BENCH_BACKEND, 2),),
+        max_decode_batch=4,
+        num_requests=96 if fast else 256,
+        rate=40.0,  # ~2x the small fleet's saturation rate
+        seed=0,
+        timeout=10.0,
+        tenants=(
+            TenantSpec(name="gold", tier=0, share=0.25, weight=4.0, ttft_slo=2.0),
+            TenantSpec(name="silver", tier=1, share=0.35, weight=2.0),
+            TenantSpec(name="bronze", tier=2, share=0.40, weight=1.0,
+                       quota_rate=8.0, quota_burst=8.0),
+        ),
+        admission=AdmissionPolicy(
+            target_queue_delay=0.4, shed_queue_delay=0.8, max_queue_delay=20.0
+        ),
+        breaker=BreakerPolicy(),
+    ))
+
+
 def _reproduce_full(_fast: bool) -> None:
     from repro.figures import generate_all
 
@@ -203,6 +232,8 @@ CASES: List[BenchCase] = [
     BenchCase("serve_1m", "million-request streaming serve", _serve_1m,
               in_fast_mode=False),
     BenchCase("chaos_load", "fault-injected load test", _chaos_load),
+    BenchCase("serve_overload", "multi-tenant overloaded admission fleet",
+              _serve_overload),
     BenchCase("reproduce_full", "generate_all(fast=False)", _reproduce_full,
               in_fast_mode=False),
 ]

@@ -341,6 +341,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
     print()
     print("Vectorized engine core:")
     print(engine_core.render_counters())
+    from repro.cluster import admission
+
+    print()
+    print("Admission / tenant isolation:")
+    print(admission.render_counters())
     from repro.audit import get_auditor
 
     auditor = get_auditor()
@@ -455,9 +460,38 @@ def _parse_nodes_spec(spec: str):
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.api import RunContext, render_report
-    from repro.cluster import AutoscalePolicy, FleetConfig, NodeFaultPlan, run_fleet
+    from repro.cluster import (
+        AdmissionPolicy,
+        AutoscalePolicy,
+        BreakerPolicy,
+        FleetConfig,
+        NodeFaultPlan,
+        UpgradePlan,
+        parse_tenants_spec,
+        run_fleet,
+    )
     from repro.serving.request import RetryPolicy
 
+    tenants = parse_tenants_spec(args.tenants) if args.tenants else ()
+    admission = None
+    if args.admission:
+        if not tenants:
+            raise SystemExit("repro fleet: --admission requires --tenants")
+        admission = AdmissionPolicy(
+            target_queue_delay=args.admission_target_delay,
+            shed_queue_delay=args.shed_delay,
+            evaluate_interval=args.admission_interval,
+            brownout_max_new_tokens=args.brownout_tokens,
+            max_inflight_per_node=args.max_inflight,
+            max_queue_delay=args.max_queue_delay,
+        )
+    breaker = None
+    if args.breaker:
+        breaker = BreakerPolicy(
+            failure_threshold=args.breaker_threshold,
+            cooldown=args.breaker_cooldown,
+        )
+    upgrade = UpgradePlan.from_spec(args.upgrade) if args.upgrade else None
     autoscale = None
     if args.autoscale:
         autoscale = AutoscalePolicy(
@@ -501,6 +535,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         probe_interval=args.probe_interval,
         deadline=args.deadline,
         autoscale=autoscale,
+        tenants=tenants,
+        admission=admission,
+        breaker=breaker,
+        upgrade=upgrade,
         plan=NodeFaultPlan.from_spec(args.chaos) if args.chaos else NodeFaultPlan(),
     )
     ctx = RunContext.create(seed=args.seed) if args.trace_out else None
@@ -806,6 +844,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gateway health-probe period in seconds")
     fleet.add_argument("--deadline", type=float, default=None,
                        help="engine-level TTFT SLO inside each node")
+    fleet.add_argument("--tenants", default=None, metavar="SPEC",
+                       help="';'-separated tenant traffic classes, e.g. "
+                            "'gold:tier=0,share=0.25,weight=4,slo=2;"
+                            "bronze:tier=2,rate=4,burst=8' "
+                            "(keys: tier, share, weight, rate, burst, slo)")
+    fleet.add_argument("--admission", action="store_true",
+                       help="gateway admission control: per-tenant quotas, "
+                            "weighted-fair queueing, and brownout/shed "
+                            "overload response (requires --tenants)")
+    fleet.add_argument("--admission-target-delay", type=float, default=0.5,
+                       help="queue delay entering brownout (seconds)")
+    fleet.add_argument("--shed-delay", type=float, default=2.0,
+                       help="queue delay entering overload shedding (seconds)")
+    fleet.add_argument("--admission-interval", type=float, default=0.25,
+                       help="admission evaluation tick period (seconds)")
+    fleet.add_argument("--brownout-tokens", type=int, default=64,
+                       help="per-attempt new-token cap during brownout")
+    fleet.add_argument("--max-inflight", type=int, default=None,
+                       help="gateway concurrency cap per routable node "
+                            "(default: --max-batch)")
+    fleet.add_argument("--max-queue-delay", type=float, default=30.0,
+                       help="hard bound on gateway queueing before any-tier "
+                            "shedding")
+    fleet.add_argument("--breaker", action="store_true",
+                       help="per-node circuit breakers on consecutive "
+                            "timeouts/failures")
+    fleet.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failures that open a breaker")
+    fleet.add_argument("--breaker-cooldown", type=float, default=2.0,
+                       help="seconds a breaker stays open before probing")
+    fleet.add_argument("--upgrade", default=None, metavar="SPEC",
+                       help="rolling-upgrade drain schedule "
+                            "'start=T[,restart=D][,poll=P]' -- drains each "
+                            "node in turn with a zero-loss audit")
     fleet.add_argument("--autoscale", action="store_true",
                        help="enable the SLO-driven autoscaler")
     fleet.add_argument("--slo-ttft", type=float, default=5.0,

@@ -7,18 +7,44 @@ jittered-backoff retries, failover, and optional hedging), node-level
 chaos (crashes, brownouts, fabric degradation, blips), and SLO-driven
 autoscaling.  Entry point: :func:`run_fleet` over a
 :class:`FleetConfig`; the ``repro fleet`` CLI verb wraps it.
+
+Overload protection and multi-tenant isolation live in
+:mod:`repro.cluster.admission`: tenant traffic classes
+(:class:`TenantSpec`), token-bucket quotas, weighted-fair queueing, the
+CoDel-style brownout/shed state machine (:class:`AdmissionPolicy`),
+per-node circuit breakers (:class:`BreakerPolicy`), and zero-loss
+rolling upgrades (:class:`UpgradePlan`).
 """
 
+from repro.cluster.admission import (
+    AdmissionController,
+    AdmissionMode,
+    AdmissionPolicy,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    TenantSpec,
+    TokenBucket,
+    UpgradePlan,
+    WeightedFairQueue,
+    parse_tenants_spec,
+)
 from repro.cluster.autoscaler import AutoscalePolicy, Autoscaler
 from repro.cluster.faults import NodeFaultEvent, NodeFaultKind, NodeFaultPlan
 from repro.cluster.fleet import FleetConfig, resume_fleet, run_fleet
 from repro.cluster.gateway import ROUTING_POLICIES, FleetRequest, Gateway, GatewayStats
 from repro.cluster.node import Node, NodeClass, NodeState
-from repro.cluster.report import FleetResilienceReport, NodeReport
+from repro.cluster.report import FleetResilienceReport, NodeReport, TenantReport
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionMode",
+    "AdmissionPolicy",
     "AutoscalePolicy",
     "Autoscaler",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "FleetConfig",
     "FleetRequest",
     "FleetResilienceReport",
@@ -32,6 +58,12 @@ __all__ = [
     "NodeReport",
     "NodeState",
     "ROUTING_POLICIES",
+    "TenantReport",
+    "TenantSpec",
+    "TokenBucket",
+    "UpgradePlan",
+    "WeightedFairQueue",
+    "parse_tenants_spec",
     "resume_fleet",
     "run_fleet",
 ]

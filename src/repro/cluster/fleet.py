@@ -29,22 +29,33 @@ from __future__ import annotations
 
 import heapq
 import math
+import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.audit import (
     ConfigError,
     FleetConservationError,
+    FleetDrainError,
     FleetRoutingError,
     JournalError,
     WatchdogExceeded,
     get_auditor,
 )
+from repro.cluster.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    TenantSpec,
+    UpgradePlan,
+    bump_counter,
+)
 from repro.cluster.autoscaler import AutoscalePolicy, Autoscaler
 from repro.cluster.faults import NodeFaultEvent, NodeFaultKind, NodeFaultPlan
 from repro.cluster.gateway import ROUTING_POLICIES, FleetRequest, Gateway
 from repro.cluster.node import Node, NodeClass
-from repro.cluster.report import FleetResilienceReport, NodeReport
+from repro.cluster.report import FleetResilienceReport, NodeReport, TenantReport
 from repro.core.journal import RunJournal
 from repro.core.metrics import percentile
 from repro.faults.report import GATEWAY_SHED_PREFIX
@@ -88,6 +99,15 @@ class FleetConfig:
     checkpoint_interval: int = 32
     admission_watermark: float = 1.0
     autoscale: Optional[AutoscalePolicy] = None
+    #: Multi-tenant traffic classes; empty = the untenanted workload.
+    tenants: Tuple[TenantSpec, ...] = ()
+    #: Gateway admission control (quotas + fair queueing + overload
+    #: response); requires ``tenants``.
+    admission: Optional[AdmissionPolicy] = None
+    #: Per-node circuit breakers (None = disabled).
+    breaker: Optional[BreakerPolicy] = None
+    #: Rolling-upgrade drain schedule (None = no upgrade).
+    upgrade: Optional[UpgradePlan] = None
     plan: NodeFaultPlan = field(default_factory=NodeFaultPlan)
 
     def __post_init__(self) -> None:
@@ -124,6 +144,11 @@ class FleetConfig:
             raise ConfigError(
                 f"recovery_warmup must be >= 0, got {self.recovery_warmup!r}"
             )
+        names = [spec.name for spec in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tenant names in {sorted(names)}")
+        if self.admission is not None and not self.tenants:
+            raise ConfigError("admission control requires at least one tenant")
 
     @property
     def nodes_spec(self) -> str:
@@ -159,6 +184,12 @@ class FleetConfig:
             "checkpoint_interval": self.checkpoint_interval,
             "admission_watermark": self.admission_watermark,
             "autoscale": None if self.autoscale is None else self.autoscale.to_dict(),
+            "tenants": [spec.to_dict() for spec in self.tenants],
+            "admission": (
+                None if self.admission is None else self.admission.to_dict()
+            ),
+            "breaker": None if self.breaker is None else self.breaker.to_dict(),
+            "upgrade": None if self.upgrade is None else self.upgrade.to_dict(),
             "plan": self.plan.to_dict(),
         }
 
@@ -205,6 +236,21 @@ class FleetConfig:
                 None if data.get("autoscale") is None
                 else AutoscalePolicy.from_dict(data["autoscale"])
             ),
+            tenants=tuple(
+                TenantSpec.from_dict(item) for item in data.get("tenants", [])
+            ),
+            admission=(
+                None if data.get("admission") is None
+                else AdmissionPolicy.from_dict(data["admission"])
+            ),
+            breaker=(
+                None if data.get("breaker") is None
+                else BreakerPolicy.from_dict(data["breaker"])
+            ),
+            upgrade=(
+                None if data.get("upgrade") is None
+                else UpgradePlan.from_dict(data["upgrade"])
+            ),
             plan=NodeFaultPlan.from_dict(data.get("plan", {})),
         )
 
@@ -234,6 +280,16 @@ class _FleetRun:
         self.terminal_count = 0
         self.fault_log: List[str] = []
         self.node_crashes = 0
+        self.admission = (
+            AdmissionController(config.tenants, config.admission)
+            if config.admission is not None else None
+        )
+        #: node name -> breaker (empty dict when breakers are off).
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self.breaker_short_circuits = 0
+        self.upgrades_started = 0
+        self.upgrades_completed = 0
+        self.upgrade_log: List[str] = []
         self._class_counts: Dict[str, int] = {}
         self._node_classes: Dict[str, NodeClass] = {}
         #: Pool -> (ttft, tpot) samples finished since the last
@@ -258,6 +314,8 @@ class _FleetRun:
             self._slo_window[name] = []
             for _ in range(count):
                 self._spawn_node(name)
+        #: Rolling-upgrade order: the initial fleet, registration order.
+        self._upgrade_order: List[str] = list(self.gateway.nodes)
         known = set(self.gateway.nodes)
         for event in config.plan.events:
             if event.node not in known:
@@ -290,6 +348,8 @@ class _FleetRun:
             node.engine.bind_context(self.ctx)
         node.begin()
         self.gateway.register(node)
+        if self.config.breaker is not None:
+            self.breakers[node.name] = CircuitBreaker(self.config.breaker)
         if self.metrics is not None:
             self.metrics.gauge("fleet.nodes").set(len(self.gateway.nodes))
         return node
@@ -304,13 +364,33 @@ class _FleetRun:
             )
         else:
             poisson_arrivals(shapes, config.rate, seed=config.seed)
-        for shape in shapes:
+        assigned: List[Optional[TenantSpec]] = [None] * len(shapes)
+        if config.tenants:
+            # Attribute the SAME arrival stream to tenants by weighted
+            # share: the arrival process is identical to an untenanted
+            # run with this seed, only the labels differ.  String seeds
+            # hash through SHA-512 inside random.Random, so the
+            # assignment is platform-stable.
+            by_name = {spec.name: spec for spec in config.tenants}
+            rng = random.Random(f"fleet-tenants/{config.seed}")
+            assigned = [
+                by_name[name] for name in rng.choices(
+                    [spec.name for spec in config.tenants],
+                    weights=[spec.share for spec in config.tenants],
+                    k=len(shapes),
+                )
+            ]
+        for shape, spec in zip(shapes, assigned):
             fleet_request = FleetRequest(
                 fleet_id=shape.request_id,
                 input_tokens=shape.input_tokens,
                 output_tokens=shape.output_tokens,
                 arrival_time=shape.arrival_time,
             )
+            if spec is not None:
+                fleet_request.tenant = spec.name
+                fleet_request.tier = spec.tier
+                fleet_request.ttft_slo = spec.ttft_slo
             self.requests.append(fleet_request)
             self.push(shape.arrival_time, "arrival", fleet_request.fleet_id)
         for event in config.plan.scheduled():
@@ -318,6 +398,10 @@ class _FleetRun:
         self.push(config.probe_interval, "probe")
         if self.autoscaler is not None:
             self.push(config.autoscale.evaluate_interval, "autoscale")
+        if self.admission is not None:
+            self.push(config.admission.evaluate_interval, "admission")
+        if config.upgrade is not None:
+            self.push(config.upgrade.start, "upgrade", 0)
 
     # -- node advancement / reconciliation -----------------------------
     def advance_nodes(self, horizon: float) -> None:
@@ -329,6 +413,8 @@ class _FleetRun:
         for node in list(self.gateway.nodes.values()):
             for attempt in node.reap():
                 self._observe_attempt(node, attempt)
+        if self.admission is not None:
+            self.pump()
         if self.tracer is not None:
             inflight = self.admitted_so_far - self.terminal_count
             self.tracer.counter("fleet.inflight", self.now, inflight)
@@ -362,6 +448,9 @@ class _FleetRun:
             self.finish_request(fleet_request, node, attempt)
         elif attempt.state is RequestState.FAILED:
             # Node crash killed the attempt: fail over immediately.
+            breaker = self.breakers.get(node.name)
+            if breaker is not None:
+                breaker.record_failure(self.now)
             if fleet_request.terminal:
                 return
             self.gateway.stats.failovers += 1
@@ -382,12 +471,61 @@ class _FleetRun:
             )
 
     # -- pipeline ------------------------------------------------------
+    def _breaker_avoid(self, now: float) -> frozenset:
+        """Nodes whose breakers currently refuse new dispatches."""
+        if not self.breakers:
+            return frozenset()
+        return frozenset(
+            name for name, breaker in self.breakers.items()
+            if breaker.blocked(now)
+        )
+
+    @property
+    def _brownout_active(self) -> bool:
+        return self.admission is not None and self.admission.brownout_active
+
+    def pump(self) -> None:
+        """Dispatch fair-queued arrivals while gateway headroom exists.
+
+        The admission queue drains in WFQ order; the pump stops once no
+        breaker-closed routable node has in-flight headroom, so queued
+        work waits at the gateway (where it can be overload-shed)
+        instead of piling onto saturated engines.
+        """
+        controller = self.admission
+        if controller is None:
+            return
+        limit = controller.policy.max_inflight_per_node
+        if limit is None:
+            limit = self.config.max_decode_batch
+        while controller.queued:
+            avoid = self._breaker_avoid(self.now)
+            if not any(
+                node.routable and node.name not in avoid and node.load < limit
+                for node in self.gateway.nodes.values()
+            ):
+                break
+            entry = controller.pop_dispatchable()
+            if entry is None:
+                break
+            fleet_request = self.requests[entry.fleet_id]
+            if fleet_request.terminal:
+                continue
+            self.dispatch(fleet_request, self.now)
+
     def dispatch(self, fleet_request: FleetRequest, now: float) -> None:
         """Route one attempt, or enter the retry/shed path."""
         if fleet_request.terminal:
             return
-        node = self.gateway.pick(exclude=fleet_request.tried_nodes)
+        avoid = self._breaker_avoid(now)
+        node = self.gateway.pick(exclude=fleet_request.tried_nodes, avoid=avoid)
         if node is None:
+            if avoid and any(
+                self.gateway.nodes[name].routable for name in avoid
+            ):
+                # Breakers, not health, blocked the route.
+                self.breaker_short_circuits += 1
+                bump_counter("breaker_short_circuits")
             self.retry_or_shed(
                 fleet_request, now,
                 f"{GATEWAY_SHED_PREFIX}no-healthy-node: retry budget "
@@ -400,7 +538,16 @@ class _FleetRun:
             f"policy {self.gateway.policy!r} picked unroutable node "
             f"{node.name} ({node.state.value}) for request {fleet_request.fleet_id}",
         )
-        attempt = self.gateway.dispatch(fleet_request, node, now)
+        breaker = self.breakers.get(node.name)
+        if breaker is not None:
+            breaker.on_dispatch(now)
+        max_new_tokens = (
+            self.admission.policy.brownout_max_new_tokens
+            if self._brownout_active else None
+        )
+        attempt = self.gateway.dispatch(
+            fleet_request, node, now, max_new_tokens=max_new_tokens
+        )
         self.attempt_map[attempt.request_id] = (fleet_request.fleet_id, node.name)
         if self.metrics is not None:
             self.metrics.counter("fleet.dispatches").inc()
@@ -409,7 +556,11 @@ class _FleetRun:
                 now + self.config.timeout, "timeout",
                 (fleet_request.fleet_id, attempt.request_id),
             )
-        if self.config.hedge_after is not None and not fleet_request.hedged:
+        if (
+            self.config.hedge_after is not None
+            and not fleet_request.hedged
+            and not self._brownout_active  # brownout disables speculation
+        ):
             self.push(
                 now + self.config.hedge_after, "hedge",
                 (fleet_request.fleet_id, attempt.request_id),
@@ -449,7 +600,14 @@ class _FleetRun:
                 f"fleet-request-{fleet_id}", "fleet", self.now, fleet_id,
                 prompt_tokens=fleet_request.input_tokens,
             )
-        self.dispatch(fleet_request, self.now)
+        if self.admission is None:
+            self.dispatch(fleet_request, self.now)
+            return
+        reason = self.admission.offer(fleet_id, fleet_request.tenant, self.now)
+        if reason is not None:
+            self._shed(fleet_request, GATEWAY_SHED_PREFIX + reason)
+            return
+        self.pump()
 
     def handle_timeout(self, fleet_id: int, attempt_id: int) -> None:
         fleet_request = self.requests[fleet_id]
@@ -473,6 +631,9 @@ class _FleetRun:
         ):
             return  # completion outran the cancel inside the last step
         self.gateway.stats.timeouts += 1
+        breaker = self.breakers.get(node_name)
+        if breaker is not None:
+            breaker.record_failure(self.now)
         if self.metrics is not None:
             self.metrics.counter("fleet.timeouts").inc()
         self.retry_or_shed(
@@ -493,13 +654,25 @@ class _FleetRun:
             return
         if attempt.first_token_time is not None:
             return  # already streaming; no point hedging
-        node = self.gateway.pick(exclude=fleet_request.tried_nodes)
-        if node is None or node.name in fleet_request.tried_nodes:
-            return  # hedging onto the same node buys nothing
+        if self._brownout_active:
+            return  # brownout: no speculative load on a saturated fleet
+        # require_untried: hedging onto an already-tried node buys
+        # nothing, and an abandoned hedge must not advance the
+        # round-robin cursor (that perturbed routing for later requests).
+        node = self.gateway.pick(
+            exclude=fleet_request.tried_nodes,
+            avoid=self._breaker_avoid(self.now),
+            require_untried=True,
+        )
+        if node is None:
+            return
         fleet_request.hedged = True
         self.gateway.stats.hedges += 1
         if self.metrics is not None:
             self.metrics.counter("fleet.hedges").inc()
+        breaker = self.breakers.get(node.name)
+        if breaker is not None:
+            breaker.on_dispatch(self.now)
         hedge_attempt = self.gateway.dispatch(fleet_request, node, self.now)
         self.attempt_map[hedge_attempt.request_id] = (fleet_id, node.name)
         if self.config.timeout is not None:
@@ -589,12 +762,90 @@ class _FleetRun:
         if self.tracer is not None:
             self.tracer.instant("node.provision", "fleet", self.now, node=node.name)
 
+    def handle_admission(self) -> None:
+        """Deterministic CoDel tick: move the overload state machine
+        and shed what it condemns."""
+        controller = self.admission
+        for entry, reason in controller.evaluate(self.now):
+            fleet_request = self.requests[entry.fleet_id]
+            if not fleet_request.terminal:
+                self._shed(fleet_request, GATEWAY_SHED_PREFIX + reason)
+        self.pump()
+        if self.terminal_count < len(self.requests):
+            self.push(
+                self.now + controller.policy.evaluate_interval, "admission"
+            )
+
+    # -- rolling upgrades ----------------------------------------------
+    def handle_upgrade(self, index: int) -> None:
+        """Start draining the next upgradable node (one at a time)."""
+        order = self._upgrade_order
+        while index < len(order):
+            node = self.gateway.nodes[order[index]]
+            if node.dead or node.retired or node.draining:
+                self.upgrade_log.append(
+                    f"t={self.now:g} skip {node.name} ({node.state.value})"
+                )
+                index += 1
+                continue
+            break
+        if index >= len(order):
+            return  # every node upgraded (or skipped)
+        node = self.gateway.nodes[order[index]]
+        node.start_upgrade_drain()
+        self.upgrades_started += 1
+        bump_counter("upgrade_drains")
+        self.upgrade_log.append(f"t={self.now:g} drain {node.name}")
+        if self.tracer is not None:
+            self.tracer.instant("node.upgrade_drain", "fleet", self.now, node=node.name)
+        self.push(self.now + self.config.upgrade.poll_interval, "upgrade_poll", index)
+
+    def handle_upgrade_poll(self, index: int) -> None:
+        node = self.gateway.nodes[self._upgrade_order[index]]
+        if node.dead:
+            # Chaos beat the upgrade to it; the crash path already
+            # failed its work over.  Move on to the next node.
+            self.upgrade_log.append(f"t={self.now:g} abort {node.name} (crashed)")
+            self.upgrades_completed += 1
+            self.push(self.now, "upgrade", index + 1)
+            return
+        if not node.drained:
+            self.push(
+                self.now + self.config.upgrade.poll_interval, "upgrade_poll", index
+            )
+            return
+        # Zero-loss gate: restarting with work in flight would lose it.
+        self.check(
+            not node.inflight and not node.engine.has_unfinished,
+            FleetDrainError,
+            f"node {node.name} entered its upgrade restart with "
+            f"{len(node.inflight)} attempts in flight",
+        )
+        node.begin_upgrade_restart()
+        self.upgrade_log.append(f"t={self.now:g} restart {node.name}")
+        self.push(
+            self.now + self.config.upgrade.restart_delay, "upgrade_rejoin", index
+        )
+
+    def handle_upgrade_rejoin(self, index: int) -> None:
+        node = self.gateway.nodes[self._upgrade_order[index]]
+        node.finish_upgrade()
+        self.upgrades_completed += 1
+        self.upgrade_log.append(f"t={self.now:g} rejoin {node.name}")
+        if self.tracer is not None:
+            self.tracer.instant("node.upgrade_done", "fleet", self.now, node=node.name)
+        self.pump()
+        self.push(self.now, "upgrade", index + 1)
+
     # -- completion ----------------------------------------------------
     def finish_request(
         self, fleet_request: FleetRequest, node: Node, attempt: Request
     ) -> None:
         fleet_request.finish(attempt)
         self.terminal_count += 1
+        breaker = self.breakers.get(node.name)
+        if breaker is not None:
+            breaker.record_success()
         node.observe_latency(attempt.first_token_time - attempt.arrival_time)
         self._slo_window.setdefault(node.node_class.name, []).append(
             (fleet_request.ttft, fleet_request.tpot)
@@ -634,6 +885,10 @@ class _FleetRun:
             "probe": lambda p: self.handle_probe(),
             "autoscale": lambda p: self.handle_autoscale(),
             "provision": lambda p: self.handle_provision(p),
+            "admission": lambda p: self.handle_admission(),
+            "upgrade": lambda p: self.handle_upgrade(p),
+            "upgrade_poll": lambda p: self.handle_upgrade_poll(p),
+            "upgrade_rejoin": lambda p: self.handle_upgrade_rejoin(p),
         }
         try:
             while True:
@@ -715,6 +970,42 @@ class _FleetRun:
         for request in shed:
             category = (request.shed_reason or "").split(":", 1)[0]
             gateway_shed_reasons[category] = gateway_shed_reasons.get(category, 0) + 1
+        tenant_reports: List[TenantReport] = []
+        for spec in config.tenants:
+            mine = [r for r in self.requests if r.tenant == spec.name]
+            tenant_finished = [r for r in mine if r.state is RequestState.FINISHED]
+            tenant_shed = [r for r in mine if r.state is RequestState.SHED]
+            quota_shed = sum(
+                1 for r in tenant_shed
+                if (r.shed_reason or "").startswith(f"{GATEWAY_SHED_PREFIX}quota")
+            )
+            overload_shed = sum(
+                1 for r in tenant_shed
+                if (r.shed_reason or "").startswith((
+                    f"{GATEWAY_SHED_PREFIX}overload",
+                    f"{GATEWAY_SHED_PREFIX}admission-timeout",
+                ))
+            )
+            tenant_ttfts = sorted(r.ttft for r in tenant_finished)
+            tenant_reports.append(TenantReport(
+                name=spec.name,
+                tier=spec.tier,
+                admitted=len(mine),
+                finished=len(tenant_finished),
+                shed=len(tenant_shed),
+                quota_shed=quota_shed,
+                overload_shed=overload_shed,
+                unfinished=len(mine) - len(tenant_finished) - len(tenant_shed),
+                mean_ttft=(
+                    sum(tenant_ttfts) / len(tenant_ttfts) if tenant_ttfts else 0.0
+                ),
+                p99_ttft=percentile(tenant_ttfts, 99) if tenant_ttfts else 0.0,
+                ttft_slo=spec.ttft_slo if spec.ttft_slo is not None else 0.0,
+                slo_violations=(
+                    sum(1 for ttft in tenant_ttfts if ttft > spec.ttft_slo)
+                    if spec.ttft_slo is not None else 0
+                ),
+            ))
         total_tokens = sum(r.winner.output_tokens for r in finished)
         total_time = self.now
         stats = self.gateway.stats
@@ -755,6 +1046,22 @@ class _FleetRun:
             fault_log=tuple(self.fault_log),
             autoscale_log=tuple(self.autoscaler.log) if self.autoscaler else (),
             watchdog_reason=watchdog_reason,
+            tenant_reports=tuple(tenant_reports),
+            quota_sheds=self.admission.quota_denied if self.admission else 0,
+            overload_sheds=self.admission.overload_sheds if self.admission else 0,
+            brownout_entries=(
+                self.admission.brownout_entries if self.admission else 0
+            ),
+            admission_mode_log=(
+                tuple(self.admission.mode_log) if self.admission else ()
+            ),
+            breaker_opens=sum(b.opens for b in self.breakers.values()),
+            breaker_probes=sum(b.probes for b in self.breakers.values()),
+            breaker_closes=sum(b.closes for b in self.breakers.values()),
+            breaker_short_circuits=self.breaker_short_circuits,
+            upgrades_started=self.upgrades_started,
+            upgrades_completed=self.upgrades_completed,
+            upgrade_log=tuple(self.upgrade_log),
         )
         # Fleet invariants: every admitted request accounted for, no
         # request both finished and shed, attempts partitioned.
@@ -795,6 +1102,35 @@ class _FleetRun:
                 live_attempts == 0,
                 FleetConservationError,
                 f"{live_attempts} attempts unaccounted for at end of run",
+            )
+        if config.tenants:
+            self.check(
+                sum(t.admitted for t in tenant_reports) == len(self.requests),
+                FleetConservationError,
+                "tenant ledgers do not partition the fleet workload",
+            )
+            self.check(
+                not any(
+                    r.tier == 0 and (r.shed_reason or "").startswith(
+                        f"{GATEWAY_SHED_PREFIX}overload"
+                    )
+                    for r in shed
+                ),
+                FleetConservationError,
+                "overload shedding dropped tier-0 (premium) work",
+            )
+        if config.upgrade is not None and not watchdog_reason:
+            self.check(
+                self.upgrades_started == self.upgrades_completed,
+                FleetDrainError,
+                f"rolling upgrade incomplete: {self.upgrades_started} drains "
+                f"started but only {self.upgrades_completed} completed",
+            )
+            self.check(
+                unfinished == 0,
+                FleetDrainError,
+                f"rolling upgrade lost work: {unfinished} fleet requests "
+                "neither finished nor shed after the drain schedule",
             )
         if self.tracer is not None:
             self.tracer.instant(

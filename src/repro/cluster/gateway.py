@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.audit import ConfigError
 from repro.cluster.node import Node
-from repro.serving.request import Request, RequestState
+from repro.serving.request import DEFAULT_TIER, Request, RequestState
 
 __all__ = ["FleetRequest", "Gateway", "ROUTING_POLICIES"]
 
@@ -47,6 +47,13 @@ class FleetRequest:
     input_tokens: int
     output_tokens: int
     arrival_time: float
+    #: Owning tenant ("" = untenanted traffic).
+    tenant: str = ""
+    #: Traffic class (0 = premium .. 2 = best-effort); cloned onto
+    #: every attempt so node schedulers admit premium work first.
+    tier: int = DEFAULT_TIER
+    #: Tenant TTFT SLO in seconds; becomes each attempt's deadline.
+    ttft_slo: Optional[float] = None
     #: Live (non-terminal) attempts, newest last.
     attempts: List[Request] = field(default_factory=list)
     #: Names of nodes this request has been dispatched to.
@@ -124,18 +131,33 @@ class Gateway:
         return [node for node in self.nodes.values() if node.routable]
 
     # -- routing -------------------------------------------------------
-    def pick(self, exclude: Set[str] = frozenset()) -> Optional[Node]:
+    def pick(
+        self,
+        exclude: Set[str] = frozenset(),
+        avoid: Set[str] = frozenset(),
+        require_untried: bool = False,
+    ) -> Optional[Node]:
         """Choose a routable node under the configured policy.
 
         ``exclude`` removes already-tried nodes from consideration --
         unless that would leave no candidate, in which case a retry may
         return to a previously tried (now routable) node rather than
-        shed a servable request.
+        shed a servable request.  ``require_untried`` disables that
+        fallback (hedging onto a tried node buys nothing).  ``avoid``
+        removes nodes unconditionally (open circuit breakers).
+
+        Returning None never advances the round-robin cursor, so a
+        fully-excluded or fully-unhealthy pool cannot perturb routing
+        for subsequent requests.
         """
-        candidates = self.routable_nodes()
+        candidates = [
+            node for node in self.routable_nodes() if node.name not in avoid
+        ]
         if not candidates:
             return None
         preferred = [node for node in candidates if node.name not in exclude]
+        if not preferred and require_untried:
+            return None
         pool = preferred or candidates
         if self.policy == "round-robin":
             choice = pool[self._rr_cursor % len(pool)]
@@ -148,13 +170,30 @@ class Gateway:
             pool, key=lambda node: (node.latency_estimate, node.load, node.name)
         )
 
-    def dispatch(self, fleet_request: FleetRequest, node: Node, now: float) -> Request:
-        """Clone a fresh attempt onto ``node`` at fleet time ``now``."""
+    def dispatch(
+        self,
+        fleet_request: FleetRequest,
+        node: Node,
+        now: float,
+        max_new_tokens: Optional[int] = None,
+    ) -> Request:
+        """Clone a fresh attempt onto ``node`` at fleet time ``now``.
+
+        ``max_new_tokens`` caps the attempt's output budget (the
+        admission layer's brownout response); the tenant's TTFT SLO
+        becomes the attempt's engine-level deadline.
+        """
+        output_tokens = fleet_request.output_tokens
+        if max_new_tokens is not None:
+            output_tokens = min(output_tokens, max_new_tokens)
         attempt = Request(
             request_id=self._next_attempt_id,
             input_tokens=fleet_request.input_tokens,
-            output_tokens=fleet_request.output_tokens,
+            output_tokens=output_tokens,
             arrival_time=now,
+            tenant=fleet_request.tenant,
+            tier=fleet_request.tier,
+            deadline=fleet_request.ttft_slo,
         )
         self._next_attempt_id += 1
         fleet_request.attempts.append(attempt)

@@ -106,6 +106,8 @@ class NodeState(enum.Enum):
     RECOVERING = "recovering"
     #: Scale-down: no new routes, existing work finishes.
     DRAINING = "draining"
+    #: Rolling upgrade: drained and restarting; rejoins afterwards.
+    UPGRADING = "upgrading"
     #: Drained and removed from the pool.
     RETIRED = "retired"
 
@@ -180,9 +182,15 @@ class Node:
         self.recovering = False
         self.blipped = False
         self.draining = False
+        #: Drain destination: True = rolling upgrade (rejoin after
+        #: restart), False = scale-down (retire when idle).
+        self.upgrade_pending = False
+        #: Upgrade restart in progress (down, but coming back).
+        self.upgrading = False
         self.retired = False
         # Bookkeeping the gateway/report read.
         self.crashes = 0
+        self.upgrades = 0
         self.attempts_fed = 0
         self.inflight: List[Request] = []
         #: EWMA of recent attempt TTFTs (latency-aware routing input).
@@ -198,6 +206,8 @@ class Node:
             return NodeState.DEAD
         if self.recovering:
             return NodeState.RECOVERING
+        if self.upgrading:
+            return NodeState.UPGRADING
         if self.draining:
             return NodeState.DRAINING
         if self.blipped:
@@ -246,6 +256,29 @@ class Node:
 
     def drain(self) -> None:
         self.draining = True
+
+    # -- rolling upgrades ----------------------------------------------
+    def start_upgrade_drain(self) -> None:
+        """Stop dispatch but keep serving: in-flight work finishes,
+        and the node restarts (instead of retiring) once idle."""
+        self.draining = True
+        self.upgrade_pending = True
+
+    @property
+    def drained(self) -> bool:
+        """No in-flight attempts and nothing queued in the engine."""
+        return not self.inflight and not self.engine.has_unfinished
+
+    def begin_upgrade_restart(self) -> None:
+        """Drain complete: take the node down for its restart."""
+        self.draining = False
+        self.upgrade_pending = False
+        self.upgrading = True
+
+    def finish_upgrade(self) -> None:
+        """Restart delay elapsed: rejoin the pool."""
+        self.upgrading = False
+        self.upgrades += 1
 
     # -- serving -------------------------------------------------------
     def begin(self) -> None:
@@ -296,7 +329,10 @@ class Node:
             else:
                 still.append(request)
         self.inflight = still
-        if self.draining and not still and not self.engine.has_unfinished:
+        if (
+            self.draining and not self.upgrade_pending
+            and not still and not self.engine.has_unfinished
+        ):
             self.retired = True
         return done
 

@@ -22,7 +22,58 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-__all__ = ["FleetResilienceReport", "NodeReport"]
+__all__ = ["FleetResilienceReport", "NodeReport", "TenantReport"]
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """One tenant's slice of a fleet run's client-visible ledger."""
+
+    name: str
+    tier: int
+    admitted: int           # requests attributed to this tenant
+    finished: int
+    shed: int
+    quota_shed: int         # shed by the tenant's token bucket
+    overload_shed: int      # shed by the CoDel overload response
+    unfinished: int
+    mean_ttft: float
+    p99_ttft: float
+    ttft_slo: float         # 0.0 = no SLO configured
+    slo_violations: int     # finished requests with TTFT above the SLO
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "tier": self.tier,
+            "admitted": self.admitted,
+            "finished": self.finished,
+            "shed": self.shed,
+            "quota_shed": self.quota_shed,
+            "overload_shed": self.overload_shed,
+            "unfinished": self.unfinished,
+            "mean_ttft": self.mean_ttft,
+            "p99_ttft": self.p99_ttft,
+            "ttft_slo": self.ttft_slo,
+            "slo_violations": self.slo_violations,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, object]) -> "TenantReport":
+        return cls(
+            name=str(data["name"]),
+            tier=int(data["tier"]),
+            admitted=int(data["admitted"]),
+            finished=int(data["finished"]),
+            shed=int(data["shed"]),
+            quota_shed=int(data["quota_shed"]),
+            overload_shed=int(data["overload_shed"]),
+            unfinished=int(data["unfinished"]),
+            mean_ttft=float(data["mean_ttft"]),
+            p99_ttft=float(data["p99_ttft"]),
+            ttft_slo=float(data["ttft_slo"]),
+            slo_violations=int(data["slo_violations"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -126,6 +177,21 @@ class FleetResilienceReport:
     fault_log: Tuple[str, ...] = field(default=(), repr=False)
     autoscale_log: Tuple[str, ...] = field(default=(), repr=False)
     watchdog_reason: str = ""
+    # -- tenants / admission (all default: pre-admission journals) -----
+    tenant_reports: Tuple[TenantReport, ...] = ()
+    quota_sheds: int = 0
+    overload_sheds: int = 0
+    brownout_entries: int = 0
+    admission_mode_log: Tuple[str, ...] = field(default=(), repr=False)
+    # -- circuit breakers ----------------------------------------------
+    breaker_opens: int = 0
+    breaker_probes: int = 0
+    breaker_closes: int = 0
+    breaker_short_circuits: int = 0
+    # -- rolling upgrades ----------------------------------------------
+    upgrades_started: int = 0
+    upgrades_completed: int = 0
+    upgrade_log: Tuple[str, ...] = field(default=(), repr=False)
 
     @property
     def watchdog_tripped(self) -> bool:
@@ -174,6 +240,18 @@ class FleetResilienceReport:
             "fault_log": list(self.fault_log),
             "autoscale_log": list(self.autoscale_log),
             "watchdog_reason": self.watchdog_reason,
+            "tenant_reports": [tenant.to_payload() for tenant in self.tenant_reports],
+            "quota_sheds": self.quota_sheds,
+            "overload_sheds": self.overload_sheds,
+            "brownout_entries": self.brownout_entries,
+            "admission_mode_log": list(self.admission_mode_log),
+            "breaker_opens": self.breaker_opens,
+            "breaker_probes": self.breaker_probes,
+            "breaker_closes": self.breaker_closes,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            "upgrades_started": self.upgrades_started,
+            "upgrades_completed": self.upgrades_completed,
+            "upgrade_log": list(self.upgrade_log),
         }
 
     @classmethod
@@ -221,6 +299,23 @@ class FleetResilienceReport:
             fault_log=tuple(str(entry) for entry in data.get("fault_log", [])),
             autoscale_log=tuple(str(entry) for entry in data.get("autoscale_log", [])),
             watchdog_reason=str(data.get("watchdog_reason", "")),
+            tenant_reports=tuple(
+                TenantReport.from_payload(tenant)
+                for tenant in data.get("tenant_reports", [])
+            ),
+            quota_sheds=int(data.get("quota_sheds", 0)),
+            overload_sheds=int(data.get("overload_sheds", 0)),
+            brownout_entries=int(data.get("brownout_entries", 0)),
+            admission_mode_log=tuple(
+                str(entry) for entry in data.get("admission_mode_log", [])
+            ),
+            breaker_opens=int(data.get("breaker_opens", 0)),
+            breaker_probes=int(data.get("breaker_probes", 0)),
+            breaker_closes=int(data.get("breaker_closes", 0)),
+            breaker_short_circuits=int(data.get("breaker_short_circuits", 0)),
+            upgrades_started=int(data.get("upgrades_started", 0)),
+            upgrades_completed=int(data.get("upgrades_completed", 0)),
+            upgrade_log=tuple(str(entry) for entry in data.get("upgrade_log", [])),
         )
 
     # -- Report protocol (display encodings) ---------------------------
@@ -237,6 +332,9 @@ class FleetResilienceReport:
         for node in payload["node_reports"]:
             node["mean_ttft"] = round(float(node["mean_ttft"]), 9)
             node["clock"] = round(float(node["clock"]), 9)
+        for tenant in payload["tenant_reports"]:
+            tenant["mean_ttft"] = round(float(tenant["mean_ttft"]), 9)
+            tenant["p99_ttft"] = round(float(tenant["p99_ttft"]), 9)
         return payload
 
     def to_json(self) -> str:
@@ -250,7 +348,8 @@ class FleetResilienceReport:
         row = self.to_dict()
         for key in (
             "shed_reasons_gateway", "shed_reasons_engine", "node_reports",
-            "fault_log", "autoscale_log",
+            "fault_log", "autoscale_log", "tenant_reports",
+            "admission_mode_log", "upgrade_log",
         ):
             row[key] = json.dumps(row[key], sort_keys=True)
         return rows_to_csv([row])
@@ -283,6 +382,26 @@ class FleetResilienceReport:
             f"  chaos      : {self.node_crashes} node crashes | "
             f"{self.scale_ups} scale-ups | {self.scale_downs} scale-downs"
         )
+        if self.tenant_reports:
+            lines.append(
+                f"  admission  : {self.quota_sheds} quota sheds | "
+                f"{self.overload_sheds} overload sheds | "
+                f"{self.brownout_entries} brownout entries"
+            )
+        if (
+            self.breaker_opens or self.breaker_probes
+            or self.breaker_short_circuits
+        ):
+            lines.append(
+                f"  breakers   : {self.breaker_opens} opened | "
+                f"{self.breaker_probes} probes | {self.breaker_closes} closed | "
+                f"{self.breaker_short_circuits} short-circuits"
+            )
+        if self.upgrades_started:
+            lines.append(
+                f"  upgrades   : {self.upgrades_started} started | "
+                f"{self.upgrades_completed} completed"
+            )
         if self.finished > 0:
             lines.append(
                 f"  latency    : mean TTFT {self.mean_ttft:.4f} s | "
@@ -304,6 +423,22 @@ class FleetResilienceReport:
             lines.append("  shed (eng) : " + "; ".join(
                 f"{count}x {reason}" for reason, count in self.shed_reasons_engine
             ))
+        for tenant in self.tenant_reports:
+            slo = (
+                f"SLO {tenant.ttft_slo:g}s ({tenant.slo_violations} violations)"
+                if tenant.ttft_slo > 0 else "no SLO"
+            )
+            latency = (
+                f"mean TTFT {tenant.mean_ttft:.4f} s | "
+                f"p99 TTFT {tenant.p99_ttft:.4f} s"
+                if tenant.finished > 0 else "no finished requests"
+            )
+            lines.append(
+                f"  tenant     : {tenant.name} (tier {tenant.tier}) | "
+                f"{tenant.admitted} admitted | {tenant.finished} finished | "
+                f"{tenant.shed} shed ({tenant.quota_shed} quota, "
+                f"{tenant.overload_shed} overload) | {latency} | {slo}"
+            )
         for node in self.node_reports:
             lines.append(
                 f"  node       : {node.name} [{node.device}] {node.final_state} | "
@@ -316,6 +451,10 @@ class FleetResilienceReport:
             lines.append(f"  event      : {entry}")
         for entry in self.autoscale_log:
             lines.append(f"  autoscale  : {entry}")
+        for entry in self.admission_mode_log:
+            lines.append(f"  admission  : {entry}")
+        for entry in self.upgrade_log:
+            lines.append(f"  upgrade    : {entry}")
         if self.watchdog_reason:
             lines.append(f"  watchdog   : PARTIAL RESULT ({self.watchdog_reason})")
         return "\n".join(lines)

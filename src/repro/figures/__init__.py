@@ -19,6 +19,7 @@ from repro.figures import (  # noqa: F401  (registration side effects)
     figure13,
     figure15,
     figure17,
+    fleet_overload,
     headline,
     table1,
     table2,

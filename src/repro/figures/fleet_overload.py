@@ -1,0 +1,113 @@
+"""Overload-protection figure: admission policy x offered load.
+
+Not a paper figure -- a repo-native companion to the fleet simulator
+(the serving-cluster layer the paper's Section 4 serving results
+motivate).  It sweeps offered load from nominal to 2x saturation over
+the same three-tenant fleet twice -- once with the gateway admitting
+everything (baseline) and once with admission control (token-bucket
+quotas, weighted-fair queueing, CoDel-style brownout/shed) -- and
+reports per-tier p99 TTFT and shed fractions.
+
+The tracked behavior: under 2x overload, admission control keeps
+tier-0 (premium) p99 TTFT within its SLO by browning out and shedding
+best-effort tiers first, while the baseline lets queueing delay grow
+for every tier alike.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster import (
+    AdmissionPolicy,
+    FleetConfig,
+    FleetResilienceReport,
+    TenantSpec,
+    run_fleet,
+)
+from repro.core.report import render_table
+from repro.figures.common import FigureResult, register_figure
+
+#: The premium tier's TTFT SLO in seconds (tracked in the summary).
+_TIER0_SLO = 2.0
+
+_TENANTS = (
+    TenantSpec(name="gold", tier=0, share=0.25, weight=4.0, ttft_slo=_TIER0_SLO),
+    TenantSpec(name="silver", tier=1, share=0.35, weight=2.0),
+    TenantSpec(name="bronze", tier=2, share=0.40, weight=1.0),
+)
+
+#: Offered load multipliers over the nominal rate.
+_LOADS = (1.0, 2.0)
+
+#: Nominal fleet rate in req/s -- near saturation for the small
+#: 2-node, batch-4 fleet below, so 2x is genuine overload.
+_BASE_RATE = 20.0
+
+
+def _run_cell(
+    load: float, admission: Optional[AdmissionPolicy], num_requests: int
+) -> FleetResilienceReport:
+    return run_fleet(FleetConfig(
+        nodes=(("gaudi2", 2),),
+        max_decode_batch=4,
+        num_requests=num_requests,
+        rate=_BASE_RATE * load,
+        seed=0,
+        tenants=_TENANTS,
+        admission=admission,
+    ))
+
+
+@register_figure("fleet_overload")
+def run(fast: bool = True) -> FigureResult:
+    """Regenerate the policy x overload p99-TTFT comparison."""
+    num_requests = 128 if fast else 256
+    admission_policy = AdmissionPolicy(
+        target_queue_delay=0.4,
+        shed_queue_delay=0.8,
+        evaluate_interval=0.25,
+        brownout_max_new_tokens=48,
+        max_queue_delay=20.0,
+    )
+    rows = []
+    summary: Dict[str, float] = {}
+    for load in _LOADS:
+        for label, policy in (("baseline", None), ("admission", admission_policy)):
+            report = _run_cell(load, policy, num_requests)
+            tiers = {t.tier: t for t in report.tenant_reports}
+            tier0, tier2 = tiers[0], tiers[2]
+            shed_fraction = report.shed / report.admitted
+            rows.append({
+                "load": load,
+                "policy": label,
+                "tier0_p99_ttft": tier0.p99_ttft,
+                "tier2_p99_ttft": tier2.p99_ttft,
+                "tier0_slo_violations": tier0.slo_violations,
+                "tier0_shed": tier0.shed,
+                "tier2_shed": tier2.shed,
+                "shed_fraction": shed_fraction,
+                "brownout_entries": report.brownout_entries,
+            })
+            key = f"{label}_{load:g}x"
+            summary[f"tier0_p99_ttft_{key}"] = tier0.p99_ttft
+            summary[f"shed_fraction_{key}"] = shed_fraction
+    summary["tier0_slo"] = _TIER0_SLO
+    text = render_table(
+        ["Load", "Policy", "T0 p99 TTFT (s)", "T2 p99 TTFT (s)",
+         "T0 shed", "T2 shed", "Shed frac"],
+        [(
+            f"{r['load']:g}x", r["policy"],
+            f"{r['tier0_p99_ttft']:.3f}", f"{r['tier2_p99_ttft']:.3f}",
+            str(r["tier0_shed"]), str(r["tier2_shed"]),
+            f"{r['shed_fraction']:.0%}",
+        ) for r in rows],
+        title="Overload protection: per-tier p99 TTFT by admission policy",
+    )
+    return FigureResult(
+        figure_id="fleet_overload",
+        title="Admission control under overload",
+        rows=rows,
+        summary=summary,
+        text=text,
+    )

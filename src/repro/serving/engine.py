@@ -46,7 +46,7 @@ from repro.serving.engine_core import (
     bump_counter,
 )
 from repro.serving.kv_cache import BlockManager, KvCacheError
-from repro.serving.request import Request, RequestState, RetryPolicy
+from repro.serving.request import DEFAULT_TIER, Request, RequestState, RetryPolicy
 from repro.serving.scheduler import ContinuousBatchingScheduler
 
 #: Default KV block size in tokens (matches the paged-attention kernel).
@@ -327,6 +327,7 @@ class LlmServingEngine:
         self._core: Optional[EngineCore] = None
         self._aggregates: Optional[ReportAggregates] = None
         self._max_fed_arrival = 0.0
+        self._request_deadlines = False
         if ctx is not None:
             self.bind_context(ctx)
 
@@ -496,6 +497,7 @@ class LlmServingEngine:
             else None
         )
         self._max_fed_arrival = 0.0
+        self._request_deadlines = any(r.deadline is not None for r in requests)
         bump_counter("vectorized_runs" if self._fast else "scalar_runs")
         self._audit = self.auditor.begin_run("serving.run") if self.auditor else None
         self.scheduler.bind_audit(self._audit)
@@ -534,6 +536,8 @@ class LlmServingEngine:
             )
         if request.arrival_time > self._max_fed_arrival:
             self._max_fed_arrival = request.arrival_time
+        if request.deadline is not None:
+            self._request_deadlines = True
         if self._aggregates is not None:
             self._aggregates.note_fed(request)
         if self.retain_requests:
@@ -550,6 +554,13 @@ class LlmServingEngine:
         no-policy path)."""
         if request.state is not RequestState.WAITING:
             raise ValueError(f"request {request.request_id} is not schedulable")
+        if request.tier != DEFAULT_TIER:
+            raise ConfigError(
+                f"request {request.request_id} has tier {request.tier}, but "
+                "the vectorized core admits in pure arrival order; run "
+                "tiered traffic on the scalar core (engine_mode='scalar' "
+                "or bind a ResiliencePolicy)"
+            )
         needed = self.block_manager.blocks_needed(request.input_tokens)
         if needed > self.block_manager.num_blocks:
             raise KvCacheError(
@@ -615,10 +626,11 @@ class LlmServingEngine:
                 self._now = now
                 if not self.scheduler.waiting:
                     break  # everything retired in this step
-                head = self.scheduler.waiting[0]  # arrival-sorted queue
-                if head.arrival_time <= now:
-                    # Nothing runs, nothing admits, and the head request
-                    # has already arrived: the pool can never serve it.
+                head = self.scheduler.next_blocked(now)
+                if head is not None:
+                    # Nothing runs, nothing admits, and the highest-
+                    # priority arrived request is blocked: the pool can
+                    # never serve it.
                     reason = (
                         f"kv-exhausted: {head.context_len} prompt tokens exceed "
                         "the free KV pool with no running request to retire"
@@ -629,10 +641,11 @@ class LlmServingEngine:
                     raise KvCacheError(
                         f"request {head.request_id} cannot be admitted: {reason}"
                     )
-                if head.arrival_time > horizon:
+                next_arrival = self.scheduler.next_arrival()
+                if next_arrival > horizon:
                     break  # idle until past the horizon; do not jump it
                 # All remaining requests arrive later; jump the clock.
-                self._now = max(now, head.arrival_time)
+                self._now = max(now, next_arrival)
                 continue
             slowdown = self._slowdown()
             step_start = now
@@ -1302,7 +1315,11 @@ class LlmServingEngine:
                 self._fault_restarted_ids.add(victim.request_id)
 
     def _enforce_deadlines(self, now: float) -> None:
-        if self.policy is None or self.policy.deadline is None:
+        # Scan when the policy sets a fleet-wide SLO *or* any fed
+        # request carries its own (e.g. a tenant-tier TTFT deadline).
+        if self.policy is None or (
+            self.policy.deadline is None and not self._request_deadlines
+        ):
             return
         for request in list(self.scheduler.waiting):
             if not request.deadline_missed(now):

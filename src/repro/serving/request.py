@@ -14,7 +14,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.audit import get_auditor
+from repro.audit import ConfigError, get_auditor
+
+#: Traffic class for requests that carry no tenant (mirrors
+#: :data:`repro.cluster.admission.DEFAULT_TIER` without importing the
+#: cluster layer into the serving layer).
+DEFAULT_TIER = 1
 
 
 class RequestState(enum.Enum):
@@ -56,14 +61,24 @@ class RetryPolicy:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        # ConfigError subclasses ValueError, so callers catching the
+        # historical ValueError keep working.
         if self.max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.backoff_base < 0 or self.backoff_multiplier < 1.0:
-            raise ValueError("need backoff_base >= 0 and backoff_multiplier >= 1")
+            raise ConfigError(
+                f"need backoff_base >= 0 and backoff_multiplier >= 1, got "
+                f"backoff_base={self.backoff_base!r} "
+                f"backoff_multiplier={self.backoff_multiplier!r}"
+            )
         if not 0.0 <= self.jitter <= 1.0:
-            raise ValueError("jitter must be in [0, 1]")
-        if self.max_backoff is not None and self.max_backoff < 0:
-            raise ValueError("max_backoff must be >= 0")
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter!r}")
+        if self.max_backoff is not None and self.max_backoff <= 0:
+            # Zero would silently collapse every backoff to an
+            # immediate retry storm; reject it alongside negatives.
+            raise ConfigError(
+                f"max_backoff must be positive (or None), got {self.max_backoff!r}"
+            )
 
     def backoff(self, attempt: int, token: int = 0) -> float:
         """Delay before retry number ``attempt`` (0-based).
@@ -102,12 +117,20 @@ class Request:
     restarts: int = 0
     #: Last checkpointed token count; fault restarts resume from here.
     checkpoint: int = 0
+    #: Owning tenant ("" = untenanted standalone traffic).
+    tenant: str = ""
+    #: Traffic class: 0 = premium, 1 = standard, 2 = best-effort.  The
+    #: scheduler admits by (tier, arrival_time), so lower tiers never
+    #: delay a queued premium request.
+    tier: int = DEFAULT_TIER
     #: Why the request was shed/failed, if it was.
     shed_reason: Optional[str] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.input_tokens <= 0 or self.output_tokens <= 0:
             raise ValueError("input_tokens and output_tokens must be positive")
+        if self.tier < 0:
+            raise ValueError(f"tier must be >= 0, got {self.tier}")
 
     def _transition(self, new_state: RequestState) -> None:
         """Move to ``new_state``, auditing legality when enabled."""

@@ -20,19 +20,24 @@ from repro.serving.request import Request, RequestState
 
 
 def _insort_by_arrival(queue: List[Request], request: Request, left: bool = False) -> None:
-    """Insert into an arrival-time-sorted queue by binary search.
+    """Insert into a ``(tier, arrival_time)``-sorted queue by binary
+    search.
 
-    ``left=False`` places the request after equal arrivals (stable FIFO
-    for submissions); ``left=True`` places it before them (preempted
-    victims re-admit ahead of later arrivals).  Manual bisection because
+    Ordering is tier first (premium tiers admit ahead of best-effort
+    regardless of arrival), then arrival time -- for uniform-tier
+    workloads this reduces to the historical pure-arrival order, so
+    untiered runs are byte-identical.  ``left=False`` places the
+    request after equal keys (stable FIFO for submissions);
+    ``left=True`` places it before them (preempted victims re-admit
+    ahead of later arrivals).  Manual bisection because
     :func:`bisect.insort`'s ``key=`` needs Python 3.10+.
     """
-    at = request.arrival_time
+    key = (request.tier, request.arrival_time)
     lo, hi = 0, len(queue)
     while lo < hi:
         mid = (lo + hi) // 2
-        probe = queue[mid].arrival_time
-        if probe < at or (not left and probe == at):
+        probe = (queue[mid].tier, queue[mid].arrival_time)
+        if probe < key or (not left and probe == key):
             lo = mid + 1
         else:
             hi = mid
@@ -67,10 +72,15 @@ class ContinuousBatchingScheduler:
         self.block_manager = block_manager
         self.max_decode_batch = max_decode_batch
         self.admission_watermark = admission_watermark
-        #: Waiting queue, kept sorted by arrival time (earliest first);
-        #: mutate it through :meth:`submit` / :meth:`requeue` /
+        #: Waiting queue, kept sorted by (tier, arrival time); mutate
+        #: it through :meth:`submit` / :meth:`requeue` /
         #: :meth:`preempt` / :meth:`shed` so the invariant holds.
         self.waiting: List[Request] = []
+        #: Distinct tiers submitted so far.  Single-tier queues keep
+        #: the O(1) admission early-exit (the queue is then fully
+        #: arrival-sorted); mixed tiers must scan past unarrived
+        #: premium work to admit arrived best-effort work.
+        self._tiers_seen: set = set()
         self.running: List[Request] = []
         #: Bumped whenever the running batch's membership changes; the
         #: engine compares it to decide whether its incremental
@@ -110,6 +120,7 @@ class ContinuousBatchingScheduler:
                 f"blocks but the pool only has {self.block_manager.num_blocks}; "
                 "it can never be scheduled"
             )
+        self._tiers_seen.add(request.tier)
         _insort_by_arrival(self.waiting, request)
 
     def requeue(self, request: Request, at: float) -> None:
@@ -125,6 +136,25 @@ class ContinuousBatchingScheduler:
     @property
     def has_unfinished(self) -> bool:
         return bool(self.waiting or self.running)
+
+    def next_blocked(self, now: float):
+        """The highest-priority waiting request that has already
+        arrived (None when nothing has) -- the engine's kv-exhaustion
+        probe.  For single-tier queues this is ``waiting[0]`` exactly
+        when it has arrived."""
+        for request in self.waiting:
+            if request.arrival_time <= now:
+                return request
+        return None
+
+    def next_arrival(self) -> float:
+        """Earliest arrival among waiting requests (inf when empty);
+        the engine's idle clock-jump target."""
+        if not self.waiting:
+            return float("inf")
+        if len(self._tiers_seen) <= 1:
+            return self.waiting[0].arrival_time
+        return min(request.arrival_time for request in self.waiting)
 
     def step(self, now: float) -> ScheduleStep:
         """Admit what fits, retire what finished, return the batch."""
@@ -151,19 +181,33 @@ class ContinuousBatchingScheduler:
                 still_running.append(request)
         self.running = still_running
 
-        # Admit waiting requests in arrival order (no reordering).  A
-        # restarted request re-allocates its full context (prompt plus
-        # any checkpointed tokens to recompute).
+        # Admit waiting requests in (tier, arrival) order -- no
+        # reordering within a traffic class.  A restarted request
+        # re-allocates its full context (prompt plus any checkpointed
+        # tokens to recompute).  An arrived request that does not fit
+        # the KV pool blocks everything behind it (head-of-line within
+        # the priority order, the historical semantics); an *unarrived*
+        # request is skipped only in mixed-tier queues, where a
+        # premium request arriving later must not block an arrived
+        # best-effort one.
         admitted: List[Request] = []
+        index = 0
+        single_tier = len(self._tiers_seen) <= 1
         while (
-            self.waiting
+            index < len(self.waiting)
             and len(self.running) + len(admitted) < self.max_decode_batch
-            and self.waiting[0].arrival_time <= now
-            and self.block_manager.has_headroom(
-                self.waiting[0].context_len, self.admission_watermark
-            )
         ):
-            request = self.waiting.pop(0)
+            request = self.waiting[index]
+            if request.arrival_time > now:
+                if single_tier:
+                    break  # arrival-sorted: nothing behind has arrived
+                index += 1
+                continue
+            if not self.block_manager.has_headroom(
+                request.context_len, self.admission_watermark
+            ):
+                break
+            self.waiting.pop(index)
             blocks = self.block_manager.allocate(request.request_id, request.context_len)
             request.start_running()
             admitted.append(request)
