@@ -29,6 +29,7 @@ from repro.audit.errors import (
     LifecycleError,
     MemoEquivalenceError,
     ReportConsistencyError,
+    SurrogateEquivalenceError,
     TokenConservationError,
     WatchdogExceeded,
     WorkerRetryExhausted,
@@ -51,6 +52,7 @@ __all__ = [
     "MemoEquivalenceError",
     "ReportConsistencyError",
     "RunAudit",
+    "SurrogateEquivalenceError",
     "TokenConservationError",
     "Watchdog",
     "WatchdogExceeded",

@@ -32,6 +32,9 @@ Invariants covered:
   non-negative, and finished + shed + failed + unfinished == submitted.
 * **Sampled memo equivalence** -- a seeded fraction of cost-cache hits
   is recomputed and compared against the cached value.
+* **Sampled surrogate equivalence** -- a seeded fraction of fitted
+  fast-path (surrogate) predictions is recomputed through the exact
+  cost model and held to the surrogate's certified error bound.
 * **Collective sanity** -- collective costs are finite, non-negative,
   and never involve more participants than the TP degree.
 """
@@ -53,6 +56,7 @@ from repro.audit.errors import (
     LifecycleError,
     MemoEquivalenceError,
     ReportConsistencyError,
+    SurrogateEquivalenceError,
     TokenConservationError,
 )
 
@@ -138,9 +142,11 @@ class Auditor:
         self.violation_counts: Counter = Counter()
         self.violations: List[Tuple[str, str]] = []
         self.memo_verified = 0
+        self.surrogate_verified = 0
         self.runs_audited = 0
         self._memo_gate = _SampleGate(seed, sample_fraction)
         self._deep_gate = _SampleGate(seed + 1, sample_fraction)
+        self._surrogate_gate = _SampleGate(seed + 2, sample_fraction)
 
     # -- core ----------------------------------------------------------
     @property
@@ -341,6 +347,43 @@ class Auditor:
                 f"cached={cached!r} fresh={fresh!r}"
             ))
 
+    # -- surrogate equivalence ----------------------------------------
+    def should_verify_surrogate(self) -> bool:
+        """Seeded gate: recompute this surrogate prediction exactly?"""
+        return self._surrogate_gate.fire()
+
+    def on_surrogate_result(
+        self,
+        surface: str,
+        key,
+        predicted: float,
+        exact: float,
+        tolerance: float,
+        slack: float = 2.0,
+    ) -> bool:
+        """Compare one spot-sampled surrogate prediction to its exact
+        recompute.
+
+        ``tolerance`` is the surrogate's certified held-out max
+        relative error; runtime queries may sit slightly off the
+        held-out distribution, so the spot check allows ``slack`` times
+        that bound before flagging a violation.  Returns whether the
+        prediction passed.
+        """
+        self.checks[SurrogateEquivalenceError.check] += 1
+        self.surrogate_verified += 1
+        denom = abs(exact) if exact else 1.0
+        rel = abs(predicted - exact) / denom
+        ok = math.isfinite(rel) and rel <= slack * tolerance
+        if not ok:
+            self.record_violation(SurrogateEquivalenceError(
+                f"surrogate {surface!r} prediction for {key!r} strayed "
+                f"{rel:.2%} from the exact model (certified bound "
+                f"{tolerance:.2%}, slack {slack:g}x): "
+                f"predicted={predicted!r} exact={exact!r}"
+            ))
+        return ok
+
     # -- reporting -----------------------------------------------------
     def render(self) -> str:
         """Fixed-format audit summary (the ``repro top`` section)."""
@@ -349,7 +392,8 @@ class Auditor:
             f"(sample fraction {self.sample_fraction:g})",
             f"  checks     : {sum(self.checks.values())} performed over "
             f"{self.runs_audited} audited runs | {self.memo_verified} memo "
-            "hits re-verified",
+            f"hits re-verified | {self.surrogate_verified} surrogate "
+            "predictions spot-checked",
         ]
         if self.total_violations == 0:
             lines.append("  violations : 0")
@@ -368,6 +412,7 @@ class Auditor:
             "violations": int(self.total_violations),
             "violation_counts": dict(sorted(self.violation_counts.items())),
             "memo_verified": self.memo_verified,
+            "surrogate_verified": self.surrogate_verified,
             "runs_audited": self.runs_audited,
         }
 
@@ -375,7 +420,8 @@ class Auditor:
         """Export counters as ``audit.*`` metrics (delta-idempotent)."""
         pairs = [("audit.checks", sum(self.checks.values())),
                  ("audit.violations", self.total_violations),
-                 ("audit.memo_verified", self.memo_verified)]
+                 ("audit.memo_verified", self.memo_verified),
+                 ("audit.surrogate_verified", self.surrogate_verified)]
         pairs += [
             (f"audit.violations.{check}", count)
             for check, count in self.violation_counts.items()

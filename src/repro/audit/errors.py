@@ -34,6 +34,7 @@ __all__ = [
     "LifecycleError",
     "MemoEquivalenceError",
     "ReportConsistencyError",
+    "SurrogateEquivalenceError",
     "TokenConservationError",
     "WatchdogExceeded",
     "WorkerRetryExhausted",
@@ -81,6 +82,13 @@ class MemoEquivalenceError(AuditError):
     """A sampled cache hit did not match its recomputed value."""
 
     check = "memo_equivalence"
+
+
+class SurrogateEquivalenceError(AuditError):
+    """A spot-sampled surrogate prediction strayed past its certified
+    error bound from the exact cost model it was fitted to."""
+
+    check = "surrogate_equivalence"
 
 
 class CollectiveAuditError(AuditError):

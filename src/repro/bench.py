@@ -60,6 +60,10 @@ BEFORE_SECONDS: Dict[str, float] = {
     # REPRO_ENGINE=scalar on the same machine as the entries above.
     "serve_50k": 22.545,
     "serve_1m": 549.22,
+    # The same design-space sweeps priced through the exact cost models
+    # (gemm_grid_sweep/design_space_sweep with exact=True) instead of
+    # the fitted surrogate.
+    "sweep_surrogate": 2.804,
 }
 
 
@@ -217,6 +221,18 @@ def _serve_overload(fast: bool) -> None:
     ))
 
 
+def _sweep_surrogate(fast: bool) -> None:
+    """Surrogate-speed design-space sweeps (fig07-style GEMM grid +
+    the TP x batch x context grid).  The exact twin of this workload is
+    the ``sweep_surrogate`` BEFORE_SECONDS entry; the first repeat may
+    pay the one-time surrogate fit, and ``min(runs)`` keeps the warm
+    fast-path time the baseline gates on."""
+    from repro.surrogate.sweep import design_space_sweep, gemm_grid_sweep
+
+    gemm_grid_sweep(_BENCH_BACKEND, per_octave=16 if fast else 32)
+    design_space_sweep(_BENCH_BACKEND, fast=fast)
+
+
 def _reproduce_full(_fast: bool) -> None:
     from repro.figures import generate_all
 
@@ -234,6 +250,8 @@ CASES: List[BenchCase] = [
     BenchCase("chaos_load", "fault-injected load test", _chaos_load),
     BenchCase("serve_overload", "multi-tenant overloaded admission fleet",
               _serve_overload),
+    BenchCase("sweep_surrogate", "surrogate-speed design-space sweeps",
+              _sweep_surrogate),
     BenchCase("reproduce_full", "generate_all(fast=False)", _reproduce_full,
               in_fast_mode=False),
 ]

@@ -12,6 +12,8 @@ Subcommands::
     python -m repro top --backend gaudi2 --samples 10
     python -m repro smi --workload llm --backend gaudi2
     python -m repro bench --check              # perf-regression smoke gate
+    python -m repro surrogate fit --backend gaudi2   # certified fast-path fit
+    python -m repro surrogate sweep --backend gaudi2 # design-space grid
     python -m repro reproduce --out runs/r0    # journaled full reproduction
     python -m repro resume runs/r0             # finish an interrupted run
 
@@ -356,6 +358,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
     else:
         auditor.publish_metrics(ctx.metrics)
         print(auditor.render())
+    from repro import surrogate
+
+    print()
+    print("Surrogate cost models:")
+    print(surrogate.render_counters())
     return 0
 
 
@@ -596,6 +603,77 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         bench.write_result(result, str(baseline_path))
         print(f"baseline updated at {baseline_path}")
     return exit_code
+
+
+def _surrogate_base_keys(args: argparse.Namespace) -> List[str]:
+    """The verb's backend list with any ``@surrogate`` suffix stripped
+    (the verb always operates on the *base* platform's surrogate)."""
+    return [key.split("@")[0] for key in _comparison_set(args)]
+
+
+def _cmd_surrogate(args: argparse.Namespace) -> int:
+    from repro import surrogate as sg
+
+    if args.action == "fit":
+        import time as _time
+
+        for base in _surrogate_base_keys(args):
+            started = _time.perf_counter()
+            model = sg.fit_backend(base, seed=args.seed, workers=args.workers)
+            elapsed = _time.perf_counter() - started
+            sg.set_surrogate_model(base, model)
+            path = sg.save_model(model, sg.artifact_path(base, args.out))
+            print(f"fitted {base}@surrogate in {elapsed:.2f}s -> {path}")
+        print()
+        print("Surrogate cost models:")
+        print(sg.render_counters())
+        return 0
+
+    if args.action == "validate":
+        exit_code = 0
+        for base in _surrogate_base_keys(args):
+            path = sg.artifact_path(base, args.out)
+            model = sg.load_model(path)
+            report = sg.validate_model(model, seed=args.seed, points=args.spot)
+            rows = [(
+                name, str(entry["points"]),
+                f"{entry['max_rel_err']:.3%}", f"{entry['mean_rel_err']:.3%}",
+                f"{entry['tolerance']:.0%}", "ok" if entry["ok"] else "FAIL",
+            ) for name, entry in report.items()]
+            print(render_table(
+                ["Surface", "Spot points", "Max err", "Mean err", "Tol", "Verdict"],
+                rows,
+                title=f"surrogate validate: {base}@surrogate ({path})",
+            ))
+            if not all(entry["ok"] for entry in report.values()):
+                exit_code = 1
+        print("OK: every surface within tolerance" if exit_code == 0
+              else "FAIL: at least one surface exceeded its tolerance")
+        return exit_code
+
+    # action == "sweep"
+    from repro.surrogate.sweep import design_space_sweep
+
+    base = _surrogate_base_keys(args)[0]
+    result = design_space_sweep(
+        base, fast=not args.full, exact=args.exact,
+    )
+    rows = [(
+        str(r["tp"]), str(r["batch"]), str(r["context"]),
+        f"{r['step_time'] * 1e3:.3f}", f"{r['throughput']:.0f}",
+        f"{r['ttft'] * 1e3:.1f}", r["geometry"],
+    ) for r in result["rows"]]
+    print(render_table(
+        ["TP", "Batch", "Context", "Step (ms)", "Tok/s", "TTFT (ms)", "Geometry"],
+        rows,
+        title=f"design-space sweep: {base} ({result['mode']}, "
+              f"{result['cells']} cells)",
+    ))
+    best = result["best"]
+    print(f"best cell: tp={best['tp']} batch={best['batch']} "
+          f"context={best['context']} -> {best['throughput']:.0f} tok/s, "
+          f"TTFT {best['ttft'] * 1e3:.1f} ms")
+    return _print_audit_summary()
 
 
 def _cmd_smi(args: argparse.Namespace) -> int:
@@ -931,6 +1009,67 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None,
                        help="explicit output path instead of BENCH_<stamp>.json")
     bench.set_defaults(fn=_cmd_bench)
+
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="fit / validate / sweep the certified surrogate cost models",
+        description=(
+            "Fitted fast-path predictors for the exact per-backend cost "
+            "models (ISSUE 10).  `fit` samples the exact models, fits "
+            "per-surface predictors, and writes a checksummed artifact "
+            "with held-out validation certificates; `validate` reloads "
+            "an artifact (checksum + certificate enforcement) and "
+            "spot-checks it on fresh samples; `sweep` runs the "
+            "design-space grid at surrogate speed (--exact for the "
+            "exact twin)."
+        ),
+    )
+    surrogate_sub = surrogate.add_subparsers(dest="action", required=True)
+
+    surrogate_fit = surrogate_sub.add_parser(
+        "fit", help="fit + certify + save one artifact per backend"
+    )
+    _add_backend_flag(surrogate_fit, multiple=True)
+    surrogate_fit.add_argument("--out", default=None,
+                               help="artifact directory "
+                                    "(default artifacts/surrogate)")
+    surrogate_fit.add_argument("--seed", type=int, default=0,
+                               help="holdout sampling seed")
+    surrogate_fit.add_argument("--workers", default=None,
+                               help="process-pool size for per-surface fits "
+                                    "(an int or 'auto'; bit-identical to "
+                                    "serial)")
+    _add_audit_flag(surrogate_fit)
+    surrogate_fit.set_defaults(fn=_cmd_surrogate, action="fit")
+
+    surrogate_validate = surrogate_sub.add_parser(
+        "validate", help="reload artifacts and spot-check against the "
+                         "exact models"
+    )
+    _add_backend_flag(surrogate_validate, multiple=True)
+    surrogate_validate.add_argument("--out", default=None,
+                                    help="artifact directory "
+                                         "(default artifacts/surrogate)")
+    surrogate_validate.add_argument("--seed", type=int, default=1,
+                                    help="spot-check sampling seed")
+    surrogate_validate.add_argument("--spot", type=int, default=32,
+                                    help="fresh spot samples per surface")
+    _add_audit_flag(surrogate_validate)
+    surrogate_validate.set_defaults(fn=_cmd_surrogate, action="validate")
+
+    surrogate_sweep = surrogate_sub.add_parser(
+        "sweep", help="TP x batch x context design-space grid at "
+                      "surrogate speed"
+    )
+    _add_backend_flag(surrogate_sweep, multiple=True)
+    surrogate_sweep.add_argument("--full", action="store_true",
+                                 help="full design-space grid "
+                                      "(default: fast subset)")
+    surrogate_sweep.add_argument("--exact", action="store_true",
+                                 help="price every cell through the exact "
+                                      "models instead of the surrogate")
+    _add_audit_flag(surrogate_sweep)
+    surrogate_sweep.set_defaults(fn=_cmd_surrogate, action="sweep")
 
     smi = sub.add_parser("smi", help="hl-smi / nvidia-smi style readout")
     _add_backend_flag(smi, multiple=False, deprecated="--device")

@@ -8,6 +8,7 @@ registry in :mod:`repro.figures.common` lets the benchmark harness and
 """
 
 from repro.figures import (  # noqa: F401  (registration side effects)
+    design_space,
     figure04,
     figure05,
     figure07,

@@ -1,0 +1,80 @@
+"""Checksummed, byte-identical surrogate artifacts.
+
+One fitted :class:`~repro.surrogate.fitting.SurrogateModel` serializes
+to one JSON file::
+
+    {"payload": {...canonical model payload...}, "sha256": "..."}
+
+The checksum is SHA-256 over the *canonical* JSON encoding of the
+payload (sorted keys, compact separators -- the same
+:func:`repro.core.journal.canonical_json` discipline the run journal
+uses), so ``save -> load -> save`` is byte-identical and any tampering
+or torn write fails loudly with a typed
+:class:`~repro.audit.errors.ConfigError`.  Loading also re-checks every
+surface certificate against its tolerance: an artifact whose held-out
+error exceeds the bound refuses to load, no matter how it was produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Union
+
+from repro.audit.errors import ConfigError
+from repro.core.journal import canonical_json
+from repro.surrogate.fitting import SurrogateModel
+
+__all__ = ["artifact_path", "load_model", "save_model"]
+
+#: Default directory artifacts are written under.
+DEFAULT_DIR = pathlib.Path("artifacts") / "surrogate"
+
+
+def artifact_path(base_key: str, out_dir: Union[str, pathlib.Path, None] = None) -> pathlib.Path:
+    """Canonical artifact location for one backend's surrogate."""
+    directory = pathlib.Path(out_dir) if out_dir is not None else DEFAULT_DIR
+    return directory / f"{base_key}@surrogate.json"
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def save_model(model: SurrogateModel, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write one checksummed artifact (parents created as needed)."""
+    path = pathlib.Path(path)
+    payload = model.to_payload()
+    record = {"payload": payload, "sha256": _digest(payload)}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(canonical_json(record) + "\n", encoding="utf-8")
+    return path
+
+
+def load_model(path: Union[str, pathlib.Path], enforce: bool = True) -> SurrogateModel:
+    """Load + verify one artifact.
+
+    Raises :class:`~repro.audit.errors.ConfigError` when the file is
+    unreadable, the checksum mismatches, or (with ``enforce``) any
+    surface certificate exceeds its tolerance.
+    """
+    path = pathlib.Path(path)
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigError(
+            f"no surrogate artifact at {path} (run `repro surrogate fit`)"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"surrogate artifact {path} is not valid JSON: {error}") from None
+    if not isinstance(record, dict) or "payload" not in record:
+        raise ConfigError(f"surrogate artifact {path} has no payload")
+    digest = _digest(record["payload"])
+    if digest != record.get("sha256"):
+        raise ConfigError(
+            f"surrogate artifact {path} failed its checksum "
+            f"(stored {record.get('sha256')!r}, computed {digest!r}); "
+            "refusing to load a tampered or torn artifact"
+        )
+    return SurrogateModel.from_payload(record["payload"], enforce=enforce)

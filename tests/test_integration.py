@@ -67,7 +67,7 @@ class TestServingPipelines:
 class TestFullReproduction:
     def test_generate_all_produces_every_artifact(self):
         results = generate_all(fast=True)
-        assert len(results) == 15
+        assert len(results) == 16
         for figure_id, result in results.items():
             assert result.rows, f"{figure_id} produced no rows"
             assert result.summary, f"{figure_id} produced no summary"

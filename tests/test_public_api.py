@@ -27,6 +27,7 @@ _PACKAGES = [
     "repro.tools",
     "repro.obs",
     "repro.api",
+    "repro.surrogate",
 ]
 
 

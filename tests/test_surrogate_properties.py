@@ -1,0 +1,90 @@
+"""Property-based tests over the surrogate predictors.
+
+Random in-domain shapes, not sweep points: the fitted GEMM surrogate
+must stay within its certificate tolerance of the exact model, and it
+must inherit the exact model's monotonicity in the batch and token
+(sequence) dimensions -- a fitted fast path that reorders design-space
+cells would be worse than useless.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.backend import get_backend
+from repro.surrogate import get_surrogate_model
+
+_DIMS = st.integers(4, 14).map(lambda p: 2**p)
+_ODD_DIMS = st.integers(16, 16384)
+_BATCHES = st.sampled_from([1, 2, 4, 8, 16])
+
+
+def _model():
+    return get_surrogate_model("gaudi2")
+
+
+def _exact():
+    return get_backend("gaudi2", fresh=True)
+
+
+class TestWithinCertificateTolerance:
+    @given(m=_ODD_DIMS, k=_ODD_DIMS, n=_ODD_DIMS, batch=_BATCHES)
+    @settings(max_examples=60, deadline=None)
+    def test_gemm_tracks_exact(self, m, k, n, batch):
+        model = _model()
+        predicted = float(model.gemm_predict(m, k, n, batch)["time"])
+        exact = _exact().gemm(m, k, n, batch=batch).time
+        assert abs(predicted - exact) / exact <= model.tolerance("gemm")
+
+    @given(tp=st.sampled_from([1, 2, 4, 8]),
+           batch=st.integers(1, 64),
+           seq=st.integers(128, 16384))
+    @settings(max_examples=40, deadline=None)
+    def test_attention_tracks_exact(self, tp, batch, seq):
+        from repro.surrogate.surfaces import SURFACES
+
+        model = _model()
+        predicted = float(model.attention_time(tp, batch, seq))
+        exact = SURFACES["attention"].evaluate(_exact(), (tp, batch, seq))
+        assert abs(predicted - exact) / exact <= model.tolerance("attention")
+
+    @given(tp=st.sampled_from([1, 2, 4, 8]),
+           batch=st.integers(1, 128),
+           context=st.integers(128, 16384))
+    @settings(max_examples=40, deadline=None)
+    def test_paged_tracks_exact(self, tp, batch, context):
+        from repro.surrogate.surfaces import exact_paged_time
+
+        model = _model()
+        predicted = float(model.paged_time(tp, batch, context))
+        exact = exact_paged_time(_exact(), tp, batch, context)
+        assert abs(predicted - exact) / exact <= model.tolerance("paged")
+
+
+class TestMonotonicity:
+    @given(m=_DIMS, k=_DIMS, n=_DIMS, batch=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_batch(self, m, k, n, batch):
+        model = _model()
+        t1 = float(model.gemm_predict(m, k, n, batch)["time"])
+        t2 = float(model.gemm_predict(m, k, n, 2 * batch)["time"])
+        assert t1 <= t2 * (1 + 1e-9)
+
+    @given(m=_DIMS, k=_DIMS, n=_DIMS)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_tokens(self, m, k, n):
+        """m is the token count in every serving GEMM: more tokens in a
+        step can never be predicted faster."""
+        model = _model()
+        t1 = float(model.gemm_predict(m, k, n, 1)["time"])
+        t2 = float(model.gemm_predict(2 * m, k, n, 1)["time"])
+        assert t1 <= t2 * (1 + 1e-9)
+
+    @given(tp=st.sampled_from([1, 2, 4, 8]),
+           batch=st.sampled_from([1, 2, 4, 8, 16, 32]),
+           seq=st.sampled_from([128, 512, 2048, 8192]))
+    @settings(max_examples=40, deadline=None)
+    def test_attention_monotone_in_seq(self, tp, batch, seq):
+        model = _model()
+        t1 = float(model.attention_time(tp, batch, seq))
+        t2 = float(model.attention_time(tp, batch, 2 * seq))
+        assert t1 <= t2 * (1 + 1e-9)
